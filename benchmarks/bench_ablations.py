@@ -1,0 +1,200 @@
+"""Ablations: the tradeoffs the paper narrates but does not tabulate.
+
+* last-agent vs parallel prepare under link heterogeneity (the
+  crossover the §4 Last Agent discussion predicts);
+* early vs late acknowledgment completion time vs confidence;
+* wait-for-outcome vs blocking under partitions;
+* heuristic-damage reporting fidelity PN vs PA;
+* lock-wait throughput benefit of earlier lock release (read-only).
+"""
+
+import pytest
+
+from repro.analysis.render import render_table
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    HeuristicChoice,
+    PRESUMED_ABORT,
+    PRESUMED_NOTHING,
+)
+from repro.core.spec import ParticipantSpec, TransactionSpec, flat_tree
+from repro.lrm.operations import read_op, write_op
+from repro.net.latency import SatelliteLink
+
+
+def updating_spec(root, children, last_agent=None):
+    spec = flat_tree(root, children)
+    for participant in spec.participants:
+        participant.ops.append(write_op(f"k-{participant.node}", 1))
+        if participant.node == last_agent:
+            participant.last_agent = True
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Last agent vs parallel prepare: the slow-link crossover
+# ----------------------------------------------------------------------
+def commit_latency(slow_delay: float, use_last_agent: bool) -> float:
+    latency = SatelliteLink("far", slow_delay=slow_delay, fast_delay=1.0)
+    config = PRESUMED_ABORT.with_options(last_agent=use_last_agent)
+    cluster = Cluster(config, nodes=["coord", "near", "far"],
+                      latency=latency)
+    spec = updating_spec("coord", ["near", "far"],
+                         last_agent="far" if use_last_agent else None)
+    handle = cluster.run_transaction(spec)
+    cluster.finalize_implied_acks()
+    assert handle.committed
+    return handle.latency
+
+
+@pytest.mark.parametrize("slow_delay", [1.0, 10.0, 50.0], ids=str)
+def test_last_agent_wins_on_slow_links(benchmark, slow_delay):
+    result = benchmark(commit_latency, slow_delay, True)
+    plain = commit_latency(slow_delay, False)
+    if slow_delay >= 10.0:
+        # §4: faraway partner -> one slow round trip beats two.
+        assert result < plain
+
+
+def test_print_last_agent_crossover(benchmark, report_sink):
+    def sweep():
+        rows = []
+        for slow in (1.0, 5.0, 10.0, 25.0, 50.0):
+            plain = commit_latency(slow, False)
+            agent = commit_latency(slow, True)
+            rows.append([slow, f"{plain:.1f}", f"{agent:.1f}",
+                         "last-agent" if agent < plain else "parallel"])
+        return rows
+
+    rows = benchmark(sweep)
+    report_sink.append(render_table(
+        ["slow-link delay", "parallel prepare latency",
+         "last-agent latency", "winner"],
+        rows,
+        title="Ablation: last agent vs parallel prepare over a "
+              "satellite link (§4)"))
+
+
+# ----------------------------------------------------------------------
+# Early vs late acknowledgment
+# ----------------------------------------------------------------------
+def chain_latency(early_ack: bool) -> float:
+    config = PRESUMED_ABORT.with_options(early_ack=early_ack)
+    cluster = Cluster(config, nodes=["root", "m1", "m2", "leaf"])
+    spec = TransactionSpec(participants=[
+        ParticipantSpec(node="root", ops=[write_op("r", 1)]),
+        ParticipantSpec(node="m1", parent="root", ops=[write_op("a", 1)]),
+        ParticipantSpec(node="m2", parent="m1", ops=[write_op("b", 1)]),
+        ParticipantSpec(node="leaf", parent="m2", ops=[write_op("c", 1)])])
+    handle = cluster.run_transaction(spec)
+    assert handle.committed
+    return handle.latency
+
+
+def test_early_ack_completion_advantage(benchmark):
+    early = benchmark(chain_latency, True)
+    late = chain_latency(False)
+    assert early < late
+
+
+# ----------------------------------------------------------------------
+# Wait-for-outcome vs blocking under a partition
+# ----------------------------------------------------------------------
+def partitioned_completion(wait_for_outcome: bool):
+    config = PRESUMED_ABORT.with_options(
+        wait_for_outcome=wait_for_outcome, ack_timeout=10.0,
+        retry_interval=10.0)
+    cluster = Cluster(config, nodes=["c", "s"])
+    spec = updating_spec("c", ["s"])
+    cluster.partition_at("c", "s", 5.25)
+    cluster.heal_at("c", "s", 120.0)
+    handle = cluster.start_transaction(spec)
+    cluster.run_until(500.0)
+    assert handle.committed
+    return handle
+
+
+def test_wait_for_outcome_unblocks(benchmark):
+    pending = benchmark(partitioned_completion, True)
+    blocking = partitioned_completion(False)
+    assert pending.completed_at < blocking.completed_at
+    assert pending.recovery_completed_at is not None
+
+
+# ----------------------------------------------------------------------
+# Heuristic reporting fidelity: PN vs PA
+# ----------------------------------------------------------------------
+def damage_run(base):
+    config = base.with_options(
+        heuristic_timeout=8.0, heuristic_choice=HeuristicChoice.ABORT,
+        ack_timeout=15.0, retry_interval=15.0)
+    cluster = Cluster(config, nodes=["root", "mid", "leaf"])
+    spec = TransactionSpec(participants=[
+        ParticipantSpec(node="root", ops=[write_op("r", 1)]),
+        ParticipantSpec(node="mid", parent="root", ops=[write_op("m", 1)]),
+        ParticipantSpec(node="leaf", parent="mid",
+                        ops=[write_op("l", 1)])])
+    cluster.partition_at("mid", "leaf", 8.0)
+    cluster.heal_at("mid", "leaf", 60.0)
+    handle = cluster.start_transaction(spec)
+    cluster.run_until(500.0)
+    return cluster, handle
+
+
+def test_reporting_fidelity_pn_vs_pa(benchmark, report_sink):
+    def run_both():
+        pn_cluster, pn_handle = damage_run(PRESUMED_NOTHING)
+        pa_cluster, pa_handle = damage_run(PRESUMED_ABORT)
+        return pn_cluster, pn_handle, pa_cluster, pa_handle
+
+    pn_cluster, pn_handle, pa_cluster, pa_handle = benchmark(run_both)
+    # Same physical damage in both runs...
+    assert len(pn_cluster.metrics.damaged_heuristics()) == 1
+    assert len(pa_cluster.metrics.damaged_heuristics()) == 1
+    # ...but only PN tells the root about it.
+    assert pn_handle.heuristic_mixed
+    assert not pa_handle.heuristic_mixed
+    report_sink.append(render_table(
+        ["protocol", "damage occurred", "root informed"],
+        [["Presumed Nothing", "yes", "yes"],
+         ["Presumed Abort (R*)", "yes", "NO (immediate coordinator "
+          "only)"]],
+        title="Ablation: heuristic damage reporting fidelity (§3)"))
+
+
+# ----------------------------------------------------------------------
+# Early lock release throughput effect (read-only optimization)
+# ----------------------------------------------------------------------
+def contended_run(read_only_enabled: bool) -> float:
+    """Two transactions contend on the reader's key: with the
+    optimization the reader releases at prepare time and the second
+    transaction waits less."""
+    config = PRESUMED_ABORT.with_options(read_only=read_only_enabled)
+    cluster = Cluster(config, nodes=["c", "reader"])
+    cluster.node("reader").default_rm.store.redo_write("hot", 0)
+
+    first = flat_tree("c", ["reader"])
+    first.participant("c").ops.append(write_op("w", 1))
+    first.participant("reader").ops.append(read_op("hot"))
+    handle1 = cluster.start_transaction(first)
+
+    second_done = {}
+
+    def second_txn():
+        second = flat_tree("reader", [])
+        second.participant("reader").ops.append(write_op("hot", 2))
+        handle2 = cluster.start_transaction(second)
+        handle2.on_done(
+            lambda h: second_done.update(at=cluster.simulator.now))
+
+    cluster.simulator.at(2.5, second_txn)
+    cluster.run()
+    assert handle1.committed
+    assert "at" in second_done
+    return second_done["at"]
+
+
+def test_read_only_lock_release_helps_contenders(benchmark):
+    with_opt = benchmark(contended_run, True)
+    without = contended_run(False)
+    assert with_opt <= without

@@ -1,0 +1,66 @@
+"""Combined optimizations — the analysis §5 deferred to a future paper.
+
+Each configuration stacks one more optimization onto the last and runs
+the same commercial workload (a hub with two detached LRMs, three
+read-only query partners, one nearby updater, one satellite-linked
+updater).  Every step must improve — strictly — on at least one of the
+paper's cost axes without regressing correctness.
+"""
+
+import pytest
+
+from repro.analysis.combined import (
+    COMBINATIONS,
+    run_all_combinations,
+    run_combination,
+)
+from repro.analysis.render import cost_cell, render_table
+
+
+@pytest.mark.parametrize("combo", COMBINATIONS, ids=lambda c: c.key)
+def test_combination_commits(benchmark, combo):
+    result = benchmark(run_combination, combo)
+    assert result.cost.flows >= 0
+
+
+def test_monotone_improvement(benchmark):
+    results = benchmark(run_all_combinations)
+    ordered = [results[c.key] for c in COMBINATIONS]
+    for previous, current in zip(ordered, ordered[1:]):
+        improved = (
+            current.cost.flows < previous.cost.flows
+            or current.cost.forced_writes < previous.cost.forced_writes
+            or current.latency < previous.latency
+            # PA's improvement over the baseline is the abort case.
+            or current.abort_cost.flows < previous.abort_cost.flows
+            or current.abort_cost.forced_writes
+            < previous.abort_cost.forced_writes)
+        assert improved, (f"{current.key} does not improve on "
+                          f"{previous.key}")
+
+
+def test_full_stack_savings_are_large(benchmark):
+    results = benchmark(run_all_combinations)
+    baseline = results["baseline"]
+    best = results["pa_ro_la_sl"]
+    # The stacked optimizations cut flows by >= 40%, halve (at least)
+    # the forced writes, and shorten the satellite-dominated latency.
+    assert best.cost.flows * 10 <= baseline.cost.flows * 6
+    assert best.cost.forced_writes * 2 <= baseline.cost.forced_writes
+    assert best.latency < baseline.latency
+
+
+def test_print_combined_table(benchmark, report_sink):
+    results = benchmark(run_all_combinations)
+    rows = []
+    for combo in COMBINATIONS:
+        result = results[combo.key]
+        rows.append([result.label, cost_cell(result.cost),
+                     cost_cell(result.abort_cost),
+                     f"{result.latency:.1f}", combo.description])
+    report_sink.append(render_table(
+        ["configuration", "commit cost", "abort cost", "commit latency",
+         "notes"],
+        rows,
+        title="Combined optimizations (§5's deferred analysis): one "
+              "commercial workload, optimizations stacked"))

@@ -1,0 +1,68 @@
+"""Extension tables: the paper's Table 3 recomputed over PN and PC.
+
+The paper analyses each optimization over Presumed Abort only.  These
+tables repeat the analysis over Presumed Nothing and Presumed Commit,
+surfacing interactions the PA-only view hides (last agent *costs* PC
+log forces; long locks and vote reliable are no-ops under PC; shared
+logs saves the most under PN).
+"""
+
+import pytest
+
+from repro.analysis.compare import compare_row
+from repro.analysis.formulas import (
+    TABLE3_PC_FORMULAS,
+    TABLE3_PN_FORMULAS,
+)
+from repro.analysis.render import cost_cell, render_table
+from repro.analysis.scenarios import run_table3_scenario
+from repro.core.config import PRESUMED_COMMIT, PRESUMED_NOTHING
+
+KEYS = ["read_only", "last_agent", "unsolicited_vote", "leave_out",
+        "vote_reliable", "shared_logs", "long_locks"]
+
+
+@pytest.mark.parametrize("base_name,base,formulas", [
+    ("pn", PRESUMED_NOTHING, TABLE3_PN_FORMULAS),
+    ("pc", PRESUMED_COMMIT, TABLE3_PC_FORMULAS),
+], ids=["pn", "pc"])
+def test_extension_table(benchmark, base_name, base, formulas):
+    def run_all():
+        mismatches = []
+        for key in KEYS:
+            analytic = formulas[key].costs(11, 4)
+            measured = run_table3_scenario(key, 11, 4, base=base).total
+            comparison = compare_row(f"{base_name} {key}", analytic,
+                                     measured)
+            if not comparison.matches:
+                mismatches.append(comparison.describe())
+        return mismatches
+
+    assert not benchmark(run_all)
+
+
+def test_print_extension_tables(benchmark, report_sink):
+    def build():
+        tables = []
+        for title, base, formulas in [
+                ("Presumed Nothing", PRESUMED_NOTHING, TABLE3_PN_FORMULAS),
+                ("Presumed Commit", PRESUMED_COMMIT, TABLE3_PC_FORMULAS)]:
+            rows = [[formulas["base"].label,
+                     cost_cell(formulas["base"].costs(11, 0)),
+                     cost_cell(run_table3_scenario(
+                         "basic" if False else "read_only", 11, 0,
+                         base=base).total)]]
+            for key in KEYS:
+                analytic = formulas[key].costs(11, 4)
+                measured = run_table3_scenario(key, 11, 4,
+                                               base=base).total
+                rows.append([formulas[key].label, cost_cell(analytic),
+                             cost_cell(measured)])
+            tables.append(render_table(
+                ["configuration", "analytic (n=11, m=4)", "measured"],
+                rows,
+                title=f"Extension table: Table 3 over {title}"))
+        return tables
+
+    for table in benchmark(build):
+        report_sink.append(table)

@@ -1,0 +1,43 @@
+"""Figures 1-8: regenerate each sequence chart from a traced run."""
+
+import pytest
+
+from repro.trace.figures import ALL_FIGURES
+
+EXPECTED_COMMIT_FLOWS = {
+    1: 4,    # basic 2PC, one subordinate
+    2: 8,    # cascaded chain of 3
+    3: 8,    # PN with intermediate coordinator
+    4: 6,    # partial read-only (updater 4 + reader 2)
+    6: 2,    # last agent
+    8: 6,    # vote reliable chain (acks waived: 8 - 2)
+}
+
+
+@pytest.mark.parametrize("number", sorted(ALL_FIGURES), ids=str)
+def test_figure(benchmark, number, report_sink):
+    result = benchmark(ALL_FIGURES[number])
+    assert result.diagram.strip()
+    if number in EXPECTED_COMMIT_FLOWS:
+        flows = sum(
+            result.cluster.metrics.commit_flows(txn=txn)
+            for txn in result.txn_ids)
+        assert flows == EXPECTED_COMMIT_FLOWS[number], \
+            f"figure {number}: {flows} commit flows"
+    sink_entry = result.diagram
+    if result.commentary:
+        sink_entry += "\n" + result.commentary
+    report_sink.append(sink_entry)
+
+
+def test_figure7_first_txn_three_flows(benchmark):
+    result = benchmark(ALL_FIGURES[7])
+    first = result.txn_ids[0]
+    assert result.cluster.metrics.commit_flows(txn=first) == 3
+
+
+def test_figure5_outcome_divergence(benchmark):
+    result = benchmark(ALL_FIGURES[5])
+    left, right = result.txn_ids
+    assert result.cluster.recorded_outcome("Pd", left) == "commit"
+    assert result.cluster.recorded_outcome("Pe", right) in (None, "abort")

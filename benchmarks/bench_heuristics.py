@@ -1,0 +1,153 @@
+"""Heuristic-damage Monte-Carlo study.
+
+The paper argues heuristic decisions are "a practical necessity" but
+quantifies nothing about them.  This study measures, over randomized
+partition windows:
+
+* how the damage probability falls as the in-doubt (heuristic) timeout
+  grows — patience avoids damage;
+* how blocked-lock time grows with the same timeout — patience costs
+  lock availability (the tradeoff that makes heuristics necessary);
+* that PN reports every damaged case to the root while PA reports none
+  of them (reporting fidelity under randomized failures).
+"""
+
+import pytest
+
+from repro.analysis.render import render_table
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    HeuristicChoice,
+    PRESUMED_ABORT,
+    PRESUMED_NOTHING,
+)
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import write_op
+from repro.sim.randomness import RandomStream
+
+TRIALS = 30
+
+
+def one_trial(base_config, heuristic_timeout, rng, seed, chain=False):
+    """One randomized run: the commit may or may not be caught by a
+    randomly-timed partition window.
+
+    ``chain`` adds an intermediate coordinator, which is what separates
+    PN's root-reporting from PA's immediate-coordinator reporting (in a
+    flat tree the immediate coordinator IS the root, so even PA's root
+    hears about damage).
+    """
+    config = base_config.with_options(
+        heuristic_timeout=heuristic_timeout,
+        heuristic_choice=HeuristicChoice.ABORT,
+        ack_timeout=12.0, retry_interval=12.0, vote_timeout=15.0)
+    if chain:
+        nodes = ["c", "mid", "s"]
+        participants = [
+            ParticipantSpec(node="c", ops=[write_op("x", 1)]),
+            ParticipantSpec(node="mid", parent="c",
+                            ops=[write_op("m", 1)]),
+            ParticipantSpec(node="s", parent="mid",
+                            ops=[write_op("y", 1)])]
+        edge = ("mid", "s")
+        # The damage-prone window: after the leaf's YES (≈6.1) and
+        # before the commit crosses the mid-s link (≈9.4).
+        window_lo = 6.3
+    else:
+        nodes = ["c", "s"]
+        participants = [
+            ParticipantSpec(node="c", ops=[write_op("x", 1)]),
+            ParticipantSpec(node="s", parent="c",
+                            ops=[write_op("y", 1)])]
+        edge = ("c", "s")
+        window_lo = 3.0
+    cluster = Cluster(config, nodes=nodes, seed=seed)
+    spec = TransactionSpec(participants=participants)
+    cut_at = rng.uniform(window_lo, window_lo + 3.0)
+    heal_at = cut_at + rng.uniform(20.0, 80.0)
+    cluster.partition_at(edge[0], edge[1], cut_at)
+    cluster.heal_at(edge[0], edge[1], heal_at)
+    handle = cluster.start_transaction(spec)
+    cluster.run_until(heal_at + 200.0)
+    assert handle.done
+    damaged = len(cluster.metrics.damaged_heuristics())
+    return {
+        "damaged": damaged,
+        "heuristics": len(cluster.metrics.heuristics),
+        "reported_to_root": int(handle.heuristic_mixed),
+        "max_lock_hold": cluster.metrics.max_lock_hold(),
+    }
+
+
+def sweep_timeout(base_config, heuristic_timeout, seed_base=1000,
+                  chain=False):
+    rng = RandomStream(seed_base)
+    totals = {"damaged": 0, "heuristics": 0, "reported_to_root": 0,
+              "max_lock_hold": 0.0}
+    for trial in range(TRIALS):
+        result = one_trial(base_config, heuristic_timeout, rng,
+                           seed=seed_base + trial, chain=chain)
+        totals["damaged"] += result["damaged"]
+        totals["heuristics"] += result["heuristics"]
+        totals["reported_to_root"] += result["reported_to_root"]
+        totals["max_lock_hold"] = max(totals["max_lock_hold"],
+                                      result["max_lock_hold"])
+    return totals
+
+
+@pytest.mark.parametrize("timeout", [5.0, 60.0, 100.0], ids=str)
+def test_damage_probability_falls_with_patience(benchmark, timeout):
+    result = benchmark(sweep_timeout, PRESUMED_ABORT, timeout)
+    if timeout >= 100.0:
+        # Partition windows are at most ~89 units: full patience
+        # outlasts every one of them — zero damage.
+        assert result["damaged"] == 0
+    if timeout >= 60.0:
+        impatient = sweep_timeout(PRESUMED_ABORT, 5.0)
+        assert result["damaged"] < impatient["damaged"]
+    assert result["heuristics"] >= result["damaged"]
+
+
+def test_patience_costs_lock_time(benchmark):
+    def both():
+        impatient = sweep_timeout(PRESUMED_ABORT, 5.0)
+        patient = sweep_timeout(PRESUMED_ABORT, 60.0)
+        return impatient, patient
+
+    impatient, patient = benchmark(both)
+    assert patient["max_lock_hold"] > impatient["max_lock_hold"]
+    assert impatient["damaged"] >= patient["damaged"]
+
+
+def test_reporting_fidelity_under_randomized_failures(benchmark):
+    """Uses the chained tree: the damage happens below an intermediate
+    coordinator, so only PN's report propagation reaches the root."""
+    def both():
+        pn = sweep_timeout(PRESUMED_NOTHING, 8.0, chain=True)
+        pa = sweep_timeout(PRESUMED_ABORT, 8.0, chain=True)
+        return pn, pa
+
+    pn, pa = benchmark(both)
+    # PN: every damaged trial reached the root.  PA: none did.
+    assert pn["reported_to_root"] == pn["damaged"]
+    assert pa["reported_to_root"] == 0
+    assert pn["damaged"] > 0   # the sweep actually produced damage
+
+
+def test_print_heuristic_study(benchmark, report_sink):
+    def sweep_all():
+        rows = []
+        for timeout in (5.0, 10.0, 20.0, 40.0, 60.0):
+            result = sweep_timeout(PRESUMED_ABORT, timeout)
+            rows.append([f"{timeout:.0f}", result["heuristics"],
+                         result["damaged"],
+                         f"{result['max_lock_hold']:.0f}"])
+        return rows
+
+    rows = benchmark(sweep_all)
+    report_sink.append(render_table(
+        ["heuristic timeout", f"heuristic decisions (of {TRIALS} "
+         f"partitioned runs)", "damaged", "max lock hold"],
+        rows,
+        title="Monte-Carlo: in-doubt patience vs heuristic damage vs "
+              "lock availability"))

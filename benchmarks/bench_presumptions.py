@@ -1,0 +1,136 @@
+"""Presumption comparison across abort rates — the extension study.
+
+The paper presents PA and PN; Presumed Commit (our extension) is the
+companion whose tradeoff is exactly the abort rate:
+
+* PC commits without subordinate acks or forced subordinate commit
+  records — cheapest commits;
+* PC aborts need forced records and acks everywhere (subordinates
+  would otherwise presume commit) — most expensive aborts;
+* PA is the mirror image.
+
+This study sweeps the abort probability and measures the expected
+per-transaction cost of each presumption, locating the crossover the
+calibration literature (Mohan & Lindsay) predicts.
+"""
+
+import pytest
+
+from repro.analysis.render import render_table
+from repro.analysis.stats import normal_ci
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    BASIC_2PC,
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+    ProtocolConfig,
+)
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import write_op
+from repro.sim.randomness import RandomStream
+
+N_TXNS = 40
+PRESUMPTIONS = [
+    ("basic", BASIC_2PC),
+    ("PA", PRESUMED_ABORT),
+    ("PN", PRESUMED_NOTHING),
+    ("PC", PRESUMED_COMMIT),
+]
+
+
+def run_mix(config: ProtocolConfig, abort_rate: float, seed: int = 17):
+    """N_TXNS three-node transactions; each aborts with ``abort_rate``.
+
+    Three participants matter: at n=2 PC's collecting force exactly
+    cancels its saved subordinate commit force, so the PA/PC forced-
+    write crossover only appears for n >= 3.
+    """
+    cluster = Cluster(config, nodes=["c", "s1", "s2"], seed=seed)
+    rng = RandomStream(seed)
+    flows = writes = forced = 0
+    per_txn_flows = []
+    for i in range(N_TXNS):
+        spec = TransactionSpec(participants=[
+            ParticipantSpec(node="c", ops=[write_op(f"x{i}", i)]),
+            ParticipantSpec(node="s1", parent="c",
+                            ops=[write_op(f"y{i}", i)],
+                            veto=rng.chance(abort_rate)),
+            ParticipantSpec(node="s2", parent="c",
+                            ops=[write_op(f"z{i}", i)])])
+        cluster.run_transaction(spec)
+        txn_flows = cluster.metrics.commit_flows(txn=spec.txn_id)
+        per_txn_flows.append(float(txn_flows))
+        flows += txn_flows
+        writes += cluster.metrics.total_log_writes(txn=spec.txn_id)
+        forced += cluster.metrics.forced_log_writes(txn=spec.txn_id)
+    return {
+        "flows": flows / N_TXNS,
+        "writes": writes / N_TXNS,
+        "forced": forced / N_TXNS,
+        "flows_ci": normal_ci(per_txn_flows),
+    }
+
+
+def test_pc_cheapest_when_everything_commits(benchmark):
+    results = benchmark(
+        lambda: {name: run_mix(config, 0.0)
+                 for name, config in PRESUMPTIONS})
+    assert results["PC"]["flows"] < results["PA"]["flows"]
+    assert results["PC"]["forced"] < results["PN"]["forced"]
+
+
+def test_pa_cheapest_when_aborts_dominate(benchmark):
+    results = benchmark(
+        lambda: {name: run_mix(config, 0.9)
+                 for name, config in PRESUMPTIONS})
+    assert results["PA"]["flows"] <= min(
+        r["flows"] for name, r in results.items() if name != "PA")
+    assert results["PA"]["forced"] <= min(
+        r["forced"] for name, r in results.items() if name != "PA")
+
+
+def test_crossover_exists(benchmark):
+    """Somewhere between all-commit and all-abort, PA and PC trade
+    places on forced writes."""
+    def sweep():
+        pa = {rate: run_mix(PRESUMED_ABORT, rate)["forced"]
+              for rate in (0.0, 0.9)}
+        pc = {rate: run_mix(PRESUMED_COMMIT, rate)["forced"]
+              for rate in (0.0, 0.9)}
+        return pa, pc
+
+    pa, pc = benchmark(sweep)
+    assert pc[0.0] < pa[0.0]        # PC wins the commit-heavy end
+    assert pa[0.9] < pc[0.9]        # PA wins the abort-heavy end
+
+
+def test_pn_pays_for_reliability_everywhere(benchmark):
+    results = benchmark(
+        lambda: {name: run_mix(config, 0.2)
+                 for name, config in PRESUMPTIONS})
+    # PN's forced writes exceed every other presumption's at any mix:
+    # that is the price of reliable damage reporting.
+    assert results["PN"]["forced"] >= max(
+        r["forced"] for name, r in results.items() if name != "PN")
+
+
+def test_print_presumption_sweep(benchmark, report_sink):
+    def sweep():
+        rows = []
+        for rate in (0.0, 0.1, 0.3, 0.5, 0.9):
+            cells = [f"{rate:.1f}"]
+            for __, config in PRESUMPTIONS:
+                result = run_mix(config, rate)
+                cells.append(f"{result['flows']:.2f}f/"
+                             f"{result['forced']:.2f}F")
+            rows.append(cells)
+        return rows
+
+    rows = benchmark(sweep)
+    report_sink.append(render_table(
+        ["abort rate"] + [name for name, __ in PRESUMPTIONS],
+        rows,
+        title=f"Extension study: mean per-transaction cost "
+              f"(flows/forced) vs abort rate, {N_TXNS} transactions "
+              f"per cell"))

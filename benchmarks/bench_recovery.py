@@ -1,0 +1,101 @@
+"""Recovery-path benchmarks: restart cost and checkpoint effectiveness.
+
+The paper's premise is that failures are rare enough to optimize the
+normal case at the failure case's expense.  This bench quantifies the
+failure case we traded against:
+
+* restart-recovery scan length with and without checkpoints, as
+  history grows (checkpoints bound it to the suffix);
+* in-doubt resolution latency per presumption (PN's coordinator-driven
+  recovery vs PA/PC inquiries);
+* redundant recovery caused by the non-forced END (the §2 tradeoff).
+"""
+
+import pytest
+
+from repro.analysis.render import render_table
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+)
+from repro.core.spec import flat_tree
+from repro.lrm.operations import write_op
+
+from tests.conftest import updating_spec
+
+
+def grow_history(cluster, n_txns):
+    for i in range(n_txns):
+        spec = flat_tree("c", ["s"])
+        spec.participant("s").ops.append(write_op(f"k{i}", i))
+        cluster.run_transaction(spec)
+
+
+def restart_scan_length(history: int, checkpoint: bool) -> int:
+    cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+    grow_history(cluster, history)
+    if checkpoint:
+        cluster.node("s").take_checkpoint()
+        cluster.run()
+    cluster.crash("s")
+    cluster.restart("s")
+    cluster.run()
+    # All committed data must survive either way.
+    for i in range(history):
+        assert cluster.value("s", f"k{i}") == i
+    return cluster.node("s").last_recovery_scan
+
+
+@pytest.mark.parametrize("history", [5, 20, 60], ids=str)
+def test_checkpoint_bounds_scan(benchmark, history):
+    with_ckpt = benchmark(restart_scan_length, history, True)
+    without = restart_scan_length(history, False)
+    assert with_ckpt < without
+    assert with_ckpt <= 2          # suffix only
+    assert without >= 3 * history  # full history scales with work
+
+
+def resolution_latency(config) -> float:
+    """Crash the subordinate in doubt; measure restart-to-resolution."""
+    cluster = Cluster(config.with_options(ack_timeout=15.0,
+                                          retry_interval=15.0),
+                      nodes=["c", "s"])
+    spec = updating_spec("c", ["s"])
+    crash_time = 5.0 if config is PRESUMED_NOTHING else 4.5
+    cluster.crash_at("s", crash_time)
+    restart_time = 50.0
+    cluster.restart_at("s", restart_time)
+    handle = cluster.start_transaction(spec)
+    cluster.run_until(500.0)
+    assert handle.committed
+    return handle.completed_at - restart_time
+
+
+@pytest.mark.parametrize("name,config", [
+    ("pa", PRESUMED_ABORT),
+    ("pn", PRESUMED_NOTHING),
+    ("pc", PRESUMED_COMMIT),
+])
+def test_in_doubt_resolution_latency(benchmark, name, config):
+    latency = benchmark(resolution_latency, config)
+    assert latency < 60.0          # one retry interval plus round trips
+
+
+def test_print_recovery_study(benchmark, report_sink):
+    def sweep():
+        rows = []
+        for history in (5, 20, 60):
+            rows.append([history,
+                         restart_scan_length(history, False),
+                         restart_scan_length(history, True)])
+        return rows
+
+    rows = benchmark(sweep)
+    report_sink.append(render_table(
+        ["committed transactions before crash",
+         "restart scan (no checkpoint)", "restart scan (checkpointed)"],
+        rows,
+        title="Recovery ablation: fuzzy checkpoints bound the restart "
+              "scan"))

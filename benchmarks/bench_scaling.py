@@ -1,0 +1,71 @@
+"""Scaling studies: how the paper's costs extrapolate.
+
+The paper's tables fix n=11, m=4 and r=12; these sweeps show the
+curves those points sit on — linear flow growth in tree size,
+latency's dependence on tree depth and link speed, and the read-only
+fraction's linear discount.
+"""
+
+import pytest
+
+from repro.analysis.render import render_table
+from repro.analysis.sweeps import (
+    rows_to_csv,
+    sweep_link_speed,
+    sweep_read_only_fraction,
+    sweep_tree_depth,
+    sweep_tree_size,
+)
+
+
+def test_tree_size_scaling_linear(benchmark):
+    rows = benchmark(sweep_tree_size, [2, 6, 11, 16], ["pa", "pc"])
+    pa = {row["n"]: row for row in rows if row["presumption"] == "pa"}
+    pc = {row["n"]: row for row in rows if row["presumption"] == "pc"}
+    for n in (2, 6, 11, 16):
+        assert pa[n]["flows"] == 4 * (n - 1)
+        assert pc[n]["flows"] == 3 * (n - 1)
+    # The PA-vs-PC gap widens linearly.
+    assert (pa[16]["flows"] - pc[16]["flows"]) > \
+        (pa[2]["flows"] - pc[2]["flows"])
+
+
+def test_depth_costs_latency_not_flows(benchmark):
+    rows = benchmark(sweep_tree_depth, 8, [1, 2, 7])
+    by_shape = {row["shape"]: row for row in rows}
+    chain = by_shape["fanout-1"]
+    flat = by_shape["fanout-7"]
+    assert chain["flows"] == flat["flows"] == 4 * 7
+    assert chain["latency"] > flat["latency"]
+
+
+def test_read_only_fraction_linear_discount(benchmark):
+    rows = benchmark(sweep_read_only_fraction, 9, [0, 2, 4, 6, 8])
+    flows = {row["readers"]: row["flows"] for row in rows}
+    for readers in (2, 4, 6, 8):
+        assert flows[readers] == flows[0] - 2 * readers
+    forced = {row["readers"]: row["forced"] for row in rows}
+    assert forced[8] == forced[0] - 16
+
+
+def test_link_speed_scales_latency_only(benchmark):
+    rows = benchmark(sweep_link_speed, [0.5, 2.0, 8.0])
+    assert len({row["flows"] for row in rows}) == 1
+    latencies = [row["latency"] for row in rows]
+    assert latencies == sorted(latencies)
+    assert latencies[-1] > latencies[0] * 4
+
+
+def test_print_scaling_tables(benchmark, report_sink):
+    def build():
+        return (sweep_tree_size([2, 4, 8, 16], ["basic", "pa", "pn",
+                                                "pc"]),
+                sweep_read_only_fraction(9, [0, 2, 4, 6, 8]))
+
+    size_rows, ro_rows = benchmark(build)
+    report_sink.append(render_table(
+        list(size_rows[0].keys()),
+        [list(row.values()) for row in size_rows],
+        title="Scaling: flat-tree cost vs participants, per presumption"))
+    report_sink.append("CSV (read-only fraction sweep):\n"
+                       + rows_to_csv(ro_rows))

@@ -1,0 +1,73 @@
+"""Table 1: the qualitative advantage/disadvantage matrix.
+
+The matrix itself is qualitative; this bench renders it alongside the
+measured evidence for each row (flows saved, forced writes saved, lock
+time deltas), timed per optimization.
+"""
+
+import pytest
+
+from repro.analysis.formulas import TABLE3_FORMULAS
+from repro.analysis.qualitative import TABLE1
+from repro.analysis.render import render_table
+from repro.analysis.scenarios import run_table3_scenario
+
+#: Maps Table 1 rows onto the Table 3 scenarios that quantify them.
+_EVIDENCE_SCENARIO = {
+    "Read Only": "read_only",
+    "Last Agent": "last_agent",
+    "Unsolicited Vote": "unsolicited_vote",
+    "OK To Leave Out": "leave_out",
+    "Vote Reliable": "vote_reliable",
+    "Wait For Outcome": "wait_for_outcome",
+    "Long Locks": "long_locks",
+    "Shared Logs": "shared_logs",
+}
+
+
+@pytest.mark.paper_table(1)
+@pytest.mark.parametrize("row", TABLE1, ids=lambda r: r.optimization)
+def test_table1_row_evidence(benchmark, row):
+    """Quantify each qualitative row (n=7, m=3 evidence run)."""
+    key = _EVIDENCE_SCENARIO.get(row.optimization)
+    if key is None:   # Group Commit is covered by bench_group_commit
+        pytest.skip("quantified separately by bench_group_commit")
+
+    baseline = TABLE3_FORMULAS["basic"].costs(7, 3)
+
+    def measure():
+        return run_table3_scenario(key, 7, 3).total
+
+    measured = benchmark(measure)
+    savings = {
+        "flows": baseline.flows - measured.flows,
+        "forced": baseline.forced_writes - measured.forced_writes,
+    }
+    if "fewer messages" in row.advantages or \
+            "fewer network flows" in row.advantages or \
+            "no messages" in row.advantages or \
+            "fewer message flows" in row.advantages:
+        assert savings["flows"] > 0, row.optimization
+    if "fewer log writes" in row.advantages or \
+            "fewer forced writes" in row.advantages or \
+            "no log writes" in row.advantages:
+        assert savings["forced"] > 0, row.optimization
+
+
+@pytest.mark.paper_table(1)
+def test_print_table1(benchmark, report_sink):
+    def build():
+        lines = []
+        for row in TABLE1:
+            lines.append([row.optimization, row.advantages,
+                          row.disadvantages,
+                          "; ".join(row.verified_by)])
+        return lines
+
+    lines = benchmark(build)
+    report_sink.append(render_table(
+        ["Optimization", "Advantages", "Disadvantages",
+         "Verified in this repo by"],
+        lines,
+        title="Table 1. Advantages and Disadvantages of 2PC "
+              "Optimizations"))

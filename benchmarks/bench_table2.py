@@ -1,0 +1,50 @@
+"""Table 2: logging and network traffic of 2PC optimizations.
+
+Regenerates every row (2-participant transaction, per-role flows and
+log writes) and checks the measurement against the paper's values.
+"""
+
+import pytest
+
+from repro.analysis.compare import compare_row
+from repro.analysis.render import cost_cell, render_table
+from repro.analysis.scenarios import TABLE2_SCENARIOS
+from repro.analysis.tables import table2_rows
+
+ROWS = table2_rows()
+
+
+@pytest.mark.paper_table(2)
+@pytest.mark.parametrize("row", ROWS, ids=lambda r: r.key)
+def test_table2_row(benchmark, row):
+    result = benchmark(TABLE2_SCENARIOS[row.key])
+    coord = compare_row(row.label, row.coordinator, result.coordinator)
+    sub = compare_row(row.label, row.subordinate, result.subordinate)
+    assert coord.matches, coord.describe()
+    assert sub.matches, sub.describe()
+
+
+@pytest.mark.paper_table(2)
+def test_print_table2(benchmark, report_sink):
+    def build():
+        lines = []
+        for row in ROWS:
+            result = TABLE2_SCENARIOS[row.key]()
+            lines.append([
+                row.label,
+                row.coordinator.flows, cost_cell(row.coordinator),
+                cost_cell(result.coordinator),
+                row.subordinate.flows, cost_cell(row.subordinate),
+                cost_cell(result.subordinate),
+            ])
+        return lines
+
+    lines = benchmark(build)
+    table = render_table(
+        ["2PC Type", "Coord flows (paper)", "Coord paper",
+         "Coord measured", "Sub flows (paper)", "Sub paper",
+         "Sub measured"],
+        lines,
+        title="Table 2. Logging and network traffic of 2PC optimizations "
+              "(paper vs measured)")
+    report_sink.append(table)

@@ -1,0 +1,55 @@
+"""Table 3: logging and message costs for n participants with m
+members following each optimization (paper example: n=11, m=4)."""
+
+import pytest
+
+from repro.analysis.compare import compare_row
+from repro.analysis.render import cost_cell, render_table
+from repro.analysis.scenarios import run_table3_scenario
+from repro.analysis.tables import table3_rows
+
+ROWS = table3_rows(n=11, m=4)
+
+
+@pytest.mark.paper_table(3)
+@pytest.mark.parametrize("row", ROWS, ids=lambda r: r.key)
+def test_table3_row(benchmark, row):
+    result = benchmark(run_table3_scenario, row.key, row.n, row.m)
+    comparison = compare_row(row.label, row.analytic, result.total)
+    assert comparison.matches, comparison.describe()
+
+
+@pytest.mark.paper_table(3)
+@pytest.mark.parametrize("n,m", [(5, 2), (21, 8)])
+def test_table3_parameter_sweep(benchmark, n, m):
+    """The formulas hold across tree sizes, not just the example."""
+    def sweep():
+        mismatches = []
+        for row in table3_rows(n=n, m=m):
+            result = run_table3_scenario(row.key, n, m)
+            comparison = compare_row(row.label, row.analytic, result.total)
+            if not comparison.matches:
+                mismatches.append(comparison.describe())
+        return mismatches
+
+    mismatches = benchmark(sweep)
+    assert not mismatches, mismatches
+
+
+@pytest.mark.paper_table(3)
+def test_print_table3(benchmark, report_sink):
+    def build():
+        lines = []
+        for row in ROWS:
+            result = run_table3_scenario(row.key, row.n, row.m)
+            lines.append([row.label, row.flows_formula,
+                          cost_cell(row.analytic),
+                          cost_cell(result.total)])
+        return lines
+
+    lines = benchmark(build)
+    report_sink.append(render_table(
+        ["2PC Type", "Flow formula", "Paper (n=11, m=4)", "Measured"],
+        lines,
+        title="Table 3. Costs for optimizations, n=11 participants, "
+              "m=4 optimized (paper vs measured)"))

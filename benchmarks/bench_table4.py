@@ -1,0 +1,52 @@
+"""Table 4: long-locks costs over r chained 2-member transactions
+(paper example: r=12)."""
+
+import pytest
+
+from repro.analysis.compare import compare_row
+from repro.analysis.render import cost_cell, render_table
+from repro.analysis.scenarios import run_table4_scenario
+from repro.analysis.tables import table4_rows
+
+ROWS = table4_rows(r=12)
+
+
+@pytest.mark.paper_table(4)
+@pytest.mark.parametrize("row", ROWS, ids=lambda r: r.variant)
+def test_table4_row(benchmark, row):
+    measured = benchmark(run_table4_scenario, row.variant, row.r)
+    comparison = compare_row(row.label, row.analytic, measured)
+    assert comparison.matches, comparison.describe()
+
+
+@pytest.mark.paper_table(4)
+@pytest.mark.parametrize("r", [4, 24])
+def test_table4_chain_length_sweep(benchmark, r):
+    def sweep():
+        mismatches = []
+        for row in table4_rows(r=r):
+            measured = run_table4_scenario(row.variant, r)
+            comparison = compare_row(row.label, row.analytic, measured)
+            if not comparison.matches:
+                mismatches.append(comparison.describe())
+        return mismatches
+
+    assert not benchmark(sweep)
+
+
+@pytest.mark.paper_table(4)
+def test_print_table4(benchmark, report_sink):
+    def build():
+        lines = []
+        for row in ROWS:
+            measured = run_table4_scenario(row.variant, row.r)
+            lines.append([row.label, row.flows_formula,
+                          cost_cell(row.analytic), cost_cell(measured)])
+        return lines
+
+    lines = benchmark(build)
+    report_sink.append(render_table(
+        ["2PC Type", "Flow formula", "Paper (r=12)", "Measured"],
+        lines,
+        title="Table 4. Long-locks costs, r=12 chained transactions "
+              "(paper vs measured)"))

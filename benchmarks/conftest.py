@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark both
+*times* its scenario (pytest-benchmark) and *verifies* the paper's
+numbers; the regenerated tables are printed in the terminal summary so
+the run's output can be compared against the paper directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_SINK: list = []
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_table(n): benchmark regenerates paper table n")
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects rendered tables; printed in the terminal summary."""
+    return _SINK
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _SINK:
+        return
+    terminalreporter.section("regenerated paper tables & studies")
+    for entry in _SINK:
+        terminalreporter.write_line("")
+        for line in entry.splitlines():
+            terminalreporter.write_line(line)
+    _SINK.clear()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The conversation-style API: LU 6.2-shaped application code.
+
+The paper's programs issue work verb-by-verb and then a sync-point
+verb, configuring per-partner options with SET_SYNCPT_OPTIONS.  The
+:mod:`repro.api` layer gives Python code that shape on top of the
+protocol engine.
+
+Run:  python examples/application_api.py
+"""
+
+from repro import Application, Cluster, PRESUMED_ABORT
+
+
+def main() -> None:
+    config = PRESUMED_ABORT.with_options(last_agent=True, leave_out=True)
+    cluster = Cluster(config,
+                      nodes=["terminal", "inventory", "pricing",
+                             "warehouse"])
+    app = Application(cluster, home="terminal")
+
+    # --- order entry -------------------------------------------------
+    order = app.transaction()
+    order.write("terminal", "order:7", "2x widget")
+    order.read("pricing", "widget")                     # read-only voter
+    order.write("inventory", "widget-stock", 98)
+    order.write("warehouse", "pick-list:7", "widget x2")
+    # The warehouse is a pure server: it may be left out of future
+    # transactions it does no work in, and it gets the decision.
+    order.syncpt_options("warehouse", last_agent=True,
+                         ok_to_leave_out=True)
+    handle = order.commit()
+    cluster.finalize_implied_acks()
+    print(f"order txn: {handle.outcome}  "
+          f"cost: {cluster.metrics.cost_summary(handle.txn_id)}")
+    print(f"  pricing (read-only) flows: "
+          f"{cluster.metrics.commit_flows(src='pricing', txn=handle.txn_id)}")
+
+    # --- a follow-up that never touches the warehouse -----------------
+    followup = app.transaction()
+    followup.write("terminal", "order:8", "1x gadget")
+    followup.write("inventory", "gadget-stock", 41)
+    handle2 = followup.commit()
+    print(f"follow-up txn: {handle2.outcome}  "
+          f"cost: {cluster.metrics.cost_summary(handle2.txn_id)}")
+    print(f"  warehouse flows (left out): "
+          f"{cluster.metrics.commit_flows(src='warehouse', txn=handle2.txn_id)}")
+
+    # --- and a backout -----------------------------------------------
+    bad = app.transaction()
+    bad.write("inventory", "widget-stock", -1)
+    handle3 = bad.backout()
+    print(f"backout txn: {handle3.outcome}  "
+          f"inventory still: {cluster.value('inventory', 'widget-stock')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Banking reconciliation: the long-locks workload from the paper (§4).
+
+Two banks settle their accounts at the end of the day with a long run
+of short chained transactions.  The long-locks variation piggybacks
+each commit acknowledgment on the next transaction's first message,
+cutting network flows from 4 to 3 per transaction — and, combined with
+the last-agent optimization, to 3 flows per *pair* of transactions
+(the paper's Table 4).
+
+Run:  python examples/banking_reconciliation.py
+"""
+
+from repro import Cluster, PRESUMED_ABORT
+from repro.analysis.formulas import long_locks_costs
+from repro.analysis.render import cost_cell, render_table
+from repro.workload.chains import chained_transaction_specs
+
+R = 12  # transactions in the settlement run (the paper's example)
+
+
+def run_variant(label: str, config, **chain_kwargs):
+    cluster = Cluster(config, nodes=["bank-a", "bank-b"])
+    specs = chained_transaction_specs(R, "bank-a", "bank-b",
+                                      **chain_kwargs)
+    for spec in specs:
+        cluster.run_transaction(spec)
+    # End of day: one final data exchange carries the last deferred
+    # acknowledgments (data flows are not commit-protocol cost).
+    cluster.send_application_data("bank-a", "bank-b")
+    cluster.send_application_data("bank-b", "bank-a")
+    cluster.finalize_implied_acks()
+
+    flows = sum(cluster.metrics.commit_flows(txn=s.txn_id) for s in specs)
+    writes = sum(cluster.metrics.total_log_writes(txn=s.txn_id)
+                 for s in specs)
+    forced = sum(cluster.metrics.forced_log_writes(txn=s.txn_id)
+                 for s in specs)
+    return label, flows, writes, forced
+
+
+def main() -> None:
+    rows = []
+    variants = [
+        ("Basic 2PC (PA)", PRESUMED_ABORT, {}),
+        ("PA & Long Locks", PRESUMED_ABORT.with_options(long_locks=True),
+         {"long_locks": True}),
+        ("PA & Long Locks + Last Agent",
+         PRESUMED_ABORT.with_options(long_locks=True, last_agent=True),
+         {"last_agent_pairs": True}),
+    ]
+    analytic = [long_locks_costs(R, v) for v in
+                ("basic", "long_locks", "long_locks_last_agent")]
+    for (label, config, kwargs), expected in zip(variants, analytic):
+        label, flows, writes, forced = run_variant(label, config, **kwargs)
+        rows.append([label, cost_cell(expected),
+                     f"{flows}f / {writes}w / {forced}F"])
+
+    print(render_table(
+        ["variant", f"paper (r={R})", "measured"],
+        rows,
+        title="End-of-day settlement: Table 4 regenerated from a "
+              "simulated bank pair"))
+    print("\nThe long-locks run commits the same work with "
+          f"{analytic[0].flows - analytic[1].flows} fewer network flows; "
+          "pairing with last agent halves the remainder again.")
+
+
+if __name__ == "__main__":
+    main()

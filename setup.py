@@ -1,0 +1,21 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package, so PEP-517
+editable installs (which build a wheel) fail.  This setup.py lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path, which needs only setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Two-Phase Commit Optimizations and Tradeoffs "
+        "in the Commercial Environment' (ICDE 1993)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={"console_scripts": ["repro-2pc = repro.cli:main"]},
+)

@@ -1,0 +1,144 @@
+"""Combined-optimization configurations.
+
+§5 of the paper: "better performance can be achieved by combining the
+different optimizations. Interesting configurations can be proposed
+but because of space limitations we do not discuss them here."  This
+module builds those configurations and measures them, completing the
+analysis the paper deferred to a future paper.
+
+The workload is a commercial-looking tree: a root with local detached
+LRMs, a set of read-mostly query partners, one faraway update partner
+(the last-agent candidate) and nearby update partners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.cluster import Cluster
+from repro.core.config import BASIC_2PC, PRESUMED_ABORT, ProtocolConfig
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import read_op, write_op
+from repro.metrics.collector import CostSummary
+from repro.net.latency import SatelliteLink
+
+
+@dataclass(frozen=True)
+class CombinedConfig:
+    """One named combination of optimizations."""
+
+    key: str
+    label: str
+    config: ProtocolConfig
+    use_last_agent: bool = False
+    description: str = ""
+
+
+COMBINATIONS: List[CombinedConfig] = [
+    CombinedConfig(
+        key="baseline",
+        label="Basic 2PC",
+        config=BASIC_2PC,
+        description="Section 2 baseline: no optimizations at all"),
+    CombinedConfig(
+        key="pa",
+        label="PA",
+        config=PRESUMED_ABORT.with_options(read_only=False,
+                                           leave_out=False),
+        description="presumption only"),
+    CombinedConfig(
+        key="pa_ro",
+        label="PA + Read Only",
+        config=PRESUMED_ABORT.with_options(leave_out=False),
+        description="readers leave phase two"),
+    CombinedConfig(
+        key="pa_ro_la",
+        label="PA + Read Only + Last Agent",
+        config=PRESUMED_ABORT.with_options(leave_out=False,
+                                           last_agent=True),
+        use_last_agent=True,
+        description="the faraway partner gets the decision"),
+    CombinedConfig(
+        key="pa_ro_la_sl",
+        label="PA + Read Only + Last Agent + Shared Logs",
+        config=PRESUMED_ABORT.with_options(leave_out=False,
+                                           last_agent=True,
+                                           shared_log=True),
+        use_last_agent=True,
+        description="local LRMs ride the TM's forces too"),
+]
+
+
+@dataclass
+class CombinedResult:
+    key: str
+    label: str
+    cost: CostSummary          # commit case
+    latency: float
+    local_flows: int
+    abort_cost: Optional[CostSummary] = None   # same workload, vetoed
+
+
+def _workload(cluster: Cluster, use_last_agent: bool) -> TransactionSpec:
+    participants = [ParticipantSpec(
+        node="hub",
+        ops=[write_op("hub-ledger", 1)],
+        rm_ops={"catalog": [write_op("sku-1", 10)],
+                "billing": [write_op("inv-1", 99)]})]
+    for name in ("query1", "query2", "query3"):
+        participants.append(ParticipantSpec(
+            node=name, parent="hub", ops=[read_op("report")]))
+    participants.append(ParticipantSpec(
+        node="near", parent="hub", ops=[write_op("near-ledger", 2)]))
+    participants.append(ParticipantSpec(
+        node="far", parent="hub", ops=[write_op("far-ledger", 3)],
+        last_agent=use_last_agent))
+    return TransactionSpec(participants=participants)
+
+
+def _build_cluster(combo: CombinedConfig, slow_delay: float) -> Cluster:
+    latency = SatelliteLink("far", slow_delay=slow_delay, fast_delay=1.0)
+    nodes = ["hub", "query1", "query2", "query3", "near", "far"]
+    cluster = Cluster(combo.config, nodes=nodes, latency=latency)
+    cluster.node("hub").add_detached_rm(
+        "catalog", own_log=not combo.config.shared_log)
+    cluster.node("hub").add_detached_rm(
+        "billing", own_log=not combo.config.shared_log)
+    return cluster
+
+
+def run_combination(combo: CombinedConfig,
+                    slow_delay: float = 25.0) -> CombinedResult:
+    """Run the commercial workload under one combination.
+
+    Measures both the commit case and the abort case (the nearby
+    updater vetoes) — PA's advantage over the baseline lives entirely
+    in the latter.
+    """
+    cluster = _build_cluster(combo, slow_delay)
+    spec = _workload(cluster, combo.use_last_agent)
+    handle = cluster.run_transaction(spec)
+    cluster.finalize_implied_acks()
+    assert handle.committed, combo.key
+
+    abort_cluster = _build_cluster(combo, slow_delay)
+    abort_spec = _workload(abort_cluster, combo.use_last_agent)
+    abort_spec.participant("near").veto = True
+    abort_handle = abort_cluster.run_transaction(abort_spec)
+    abort_cluster.finalize_implied_acks()
+    assert abort_handle.aborted, combo.key
+
+    return CombinedResult(
+        key=combo.key,
+        label=combo.label,
+        cost=cluster.metrics.cost_summary(spec.txn_id),
+        latency=handle.latency,
+        local_flows=cluster.metrics.local_flows.total(),
+        abort_cost=abort_cluster.metrics.cost_summary(abort_spec.txn_id))
+
+
+def run_all_combinations(slow_delay: float = 25.0
+                         ) -> Dict[str, CombinedResult]:
+    return {combo.key: run_combination(combo, slow_delay)
+            for combo in COMBINATIONS}

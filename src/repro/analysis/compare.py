@@ -1,0 +1,46 @@
+"""Analytic-vs-measured comparison machinery.
+
+The reproduction's central claim is that the simulator *measures* the
+same costs the paper *derives*.  ``compare_row`` checks one (analytic,
+measured) pair and reports per-metric agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.metrics.collector import CostSummary
+
+
+@dataclass
+class ComparisonResult:
+    """Agreement report for one table row."""
+
+    label: str
+    analytic: CostSummary
+    measured: CostSummary
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def matches(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        status = "OK" if self.matches else \
+            f"MISMATCH ({', '.join(self.mismatches)})"
+        return (f"{self.label}: paper {self.analytic.as_tuple()} "
+                f"measured {self.measured.as_tuple()} -> {status}")
+
+
+def compare_row(label: str, analytic: CostSummary,
+                measured: CostSummary) -> ComparisonResult:
+    result = ComparisonResult(label=label, analytic=analytic,
+                              measured=measured)
+    for metric in ("flows", "log_writes", "forced_writes"):
+        expected = getattr(analytic, metric)
+        actual = getattr(measured, metric)
+        if expected != actual:
+            result.mismatches.append(
+                f"{metric}: paper {expected} vs measured {actual}")
+    return result

@@ -1,0 +1,298 @@
+"""Closed-form cost formulas for the paper's protocols and optimizations.
+
+Counting conventions (validated against Table 2 and Table 3's n=11,
+m=4 example; see DESIGN.md §4 for the OCR reconstructions):
+
+* a transaction tree has ``n`` members (1 coordinator + n-1 others);
+* "flows" counts commit-protocol network messages (4 per edge in the
+  baseline: prepare, vote, outcome, ack);
+* "writes"/"forced" count TM protocol log records (data WAL records
+  are pre-commit work and excluded, as in the paper).
+
+Baseline per-role records (commit case):
+
+* coordinator: committed (forced), end (non-forced) -> 2 writes / 1 forced;
+* subordinate: prepared (f), committed (f), end (nf) -> 3 writes / 2 forced;
+* totals: ``3n - 1`` writes, ``2n - 1`` forced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.metrics.collector import CostSummary
+
+
+def _check_membership(n: int, m: int) -> None:
+    if n < 1:
+        raise ValueError(f"tree size must be >= 1, got n={n}")
+    if not 0 <= m <= n - 1:
+        raise ValueError(
+            f"optimized members m={m} must satisfy 0 <= m <= n-1 (n={n})")
+
+
+# ----------------------------------------------------------------------
+# Whole-protocol costs (Table 2 scale: role-level and totals)
+# ----------------------------------------------------------------------
+def basic_2pc_costs(n: int) -> CostSummary:
+    """Baseline 2PC, commit case (also PA's commit case)."""
+    _check_membership(n, 0)
+    return CostSummary(flows=4 * (n - 1), log_writes=3 * n - 1,
+                       forced_writes=2 * n - 1)
+
+
+def pa_commit_costs(n: int) -> CostSummary:
+    """Presumed Abort commits exactly like the baseline."""
+    return basic_2pc_costs(n)
+
+
+def pn_commit_costs(n: int) -> CostSummary:
+    """Presumed Nothing: +1 forced commit-pending at the coordinator,
+    +1 forced initiator/session record per subordinate (Table 2: the
+    PN coordinator writes 3/2, the PN subordinate 4/3)."""
+    _check_membership(n, 0)
+    return CostSummary(flows=4 * (n - 1),
+                       log_writes=(3 * n - 1) + n,
+                       forced_writes=(2 * n - 1) + n)
+
+
+def pa_abort_costs(n: int) -> CostSummary:
+    """PA abort (subordinates voted NO): prepare+abort out, one vote
+    back, nothing logged, no acks."""
+    _check_membership(n, 0)
+    return CostSummary(flows=3 * (n - 1), log_writes=0, forced_writes=0)
+
+
+def pa_read_only_costs(n: int) -> CostSummary:
+    """PA with every participant read-only: one round of prepares and
+    read-only votes; no logging at all."""
+    _check_membership(n, 0)
+    return CostSummary(flows=2 * (n - 1), log_writes=0, forced_writes=0)
+
+
+def pc_commit_costs(n: int) -> CostSummary:
+    """Presumed Commit (extension): coordinator forces collecting and
+    committed (3 writes / 2 forced + end), subordinates never force the
+    commit record and never ack (2 writes / 1 forced, 3 flows/edge)."""
+    _check_membership(n, 0)
+    return CostSummary(flows=3 * (n - 1),
+                       log_writes=3 + 2 * (n - 1),
+                       forced_writes=2 + (n - 1))
+
+
+# ----------------------------------------------------------------------
+# Optimization deltas over PA for a tree of n with m optimized members
+# (Table 3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CostFormula:
+    """One Table 3 row: closed-form costs as functions of (n, m)."""
+
+    key: str
+    label: str
+    flows: Callable[[int, int], int]
+    writes: Callable[[int, int], int]
+    forced: Callable[[int, int], int]
+
+    def costs(self, n: int, m: int) -> CostSummary:
+        _check_membership(n, m)
+        return CostSummary(flows=self.flows(n, m),
+                           log_writes=self.writes(n, m),
+                           forced_writes=self.forced(n, m))
+
+
+TABLE3_FORMULAS: Dict[str, CostFormula] = {
+    formula.key: formula for formula in [
+        CostFormula(
+            key="basic",
+            label="Basic 2PC (no optimizations present)",
+            flows=lambda n, m: 4 * (n - 1),
+            writes=lambda n, m: 3 * n - 1,
+            forced=lambda n, m: 2 * n - 1),
+        CostFormula(
+            key="read_only",
+            label="PA & Read Only",
+            flows=lambda n, m: 4 * (n - 1) - 2 * m,
+            writes=lambda n, m: 3 * n - 1 - 3 * m,
+            forced=lambda n, m: 2 * n - 1 - 2 * m),
+        CostFormula(
+            key="last_agent",
+            label="PA & Last Agent",
+            flows=lambda n, m: 4 * (n - 1) - 2 * m,
+            writes=lambda n, m: 3 * n - 1,
+            forced=lambda n, m: 2 * n - 1),
+        CostFormula(
+            key="unsolicited_vote",
+            label="PA & Unsolicited Vote",
+            flows=lambda n, m: 4 * (n - 1) - m,
+            writes=lambda n, m: 3 * n - 1,
+            forced=lambda n, m: 2 * n - 1),
+        CostFormula(
+            key="leave_out",
+            label="PA & OK-To-Leave-Out",
+            flows=lambda n, m: 4 * (n - 1) - 4 * m,
+            writes=lambda n, m: 3 * n - 1 - 3 * m,
+            forced=lambda n, m: 2 * n - 1 - 2 * m),
+        CostFormula(
+            key="vote_reliable",
+            label="PA & Vote Reliable",
+            flows=lambda n, m: 4 * (n - 1) - m,
+            writes=lambda n, m: 3 * n - 1,
+            forced=lambda n, m: 2 * n - 1),
+        CostFormula(
+            key="wait_for_outcome",
+            label="PA & Wait For Outcome",
+            flows=lambda n, m: 4 * (n - 1),
+            writes=lambda n, m: 3 * n - 1,
+            forced=lambda n, m: 2 * n - 1),
+        CostFormula(
+            key="shared_logs",
+            label="PA & Shared Logs",
+            flows=lambda n, m: 4 * (n - 1),
+            writes=lambda n, m: 3 * n - 1,
+            forced=lambda n, m: 2 * n - 1 - 2 * m),
+        CostFormula(
+            key="long_locks",
+            label="PA & Long Locks",
+            flows=lambda n, m: 4 * (n - 1) - m,
+            writes=lambda n, m: 3 * n - 1,
+            forced=lambda n, m: 2 * n - 1),
+    ]
+}
+
+
+# ----------------------------------------------------------------------
+# Long locks over transaction chains (Table 4)
+# ----------------------------------------------------------------------
+def long_locks_costs(r: int, variant: str) -> CostSummary:
+    """Costs of committing ``r`` chained 2-member transactions.
+
+    variant: "basic" (4r flows), "long_locks" (3r — the ack rides the
+    next transaction's first message), or "long_locks_last_agent"
+    (3r/2 — two transactions commit in three flows).
+    Log writes are unchanged: 5 per transaction, 3 forced.
+    """
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    flows = {
+        "basic": 4 * r,
+        "long_locks": 3 * r,
+        "long_locks_last_agent": (3 * r) // 2,
+    }
+    if variant not in flows:
+        raise ValueError(f"unknown variant {variant!r}")
+    if variant == "long_locks_last_agent" and r % 2:
+        raise ValueError("the paired last-agent pattern needs an even r")
+    return CostSummary(flows=flows[variant], log_writes=5 * r,
+                       forced_writes=3 * r)
+
+
+# ----------------------------------------------------------------------
+# Group commit (§4 prose)
+# ----------------------------------------------------------------------
+def group_commit_io_savings(force_requests: int, group_size: int) -> int:
+    """Physical I/Os saved by batching ``force_requests`` forces into
+    groups of ``group_size``: F - ceil(F / g)."""
+    if force_requests < 0:
+        raise ValueError("force_requests must be >= 0")
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if force_requests == 0:
+        return 0
+    return force_requests - math.ceil(force_requests / group_size)
+
+
+# ----------------------------------------------------------------------
+# Extension: the same optimizations layered on PN and PC
+# (the paper analyses over PA only; these are derived the same way and
+# verified against the simulator in tests/test_extension_formulas.py)
+# ----------------------------------------------------------------------
+TABLE3_PN_FORMULAS: Dict[str, CostFormula] = {
+    formula.key: formula for formula in [
+        CostFormula("base", "PN (no optimizations)",
+                    flows=lambda n, m: 4 * (n - 1),
+                    writes=lambda n, m: 4 * n - 1,
+                    forced=lambda n, m: 3 * n - 1),
+        CostFormula("read_only", "PN & Read Only",
+                    flows=lambda n, m: 4 * (n - 1) - 2 * m,
+                    writes=lambda n, m: 4 * n - 1 - 4 * m,
+                    forced=lambda n, m: 3 * n - 1 - 3 * m),
+        # Each delegation replaces an agent's initiator+prepared pair
+        # with the delegator's single prepared force: net -1 write and
+        # -1 force per delegating edge.
+        CostFormula("last_agent", "PN & Last Agent",
+                    flows=lambda n, m: 4 * (n - 1) - 2 * m,
+                    writes=lambda n, m: 4 * n - 1 - m,
+                    forced=lambda n, m: 3 * n - 1 - m),
+        CostFormula("unsolicited_vote", "PN & Unsolicited Vote",
+                    flows=lambda n, m: 4 * (n - 1) - m,
+                    writes=lambda n, m: 4 * n - 1,
+                    forced=lambda n, m: 3 * n - 1),
+        CostFormula("leave_out", "PN & OK-To-Leave-Out",
+                    flows=lambda n, m: 4 * (n - 1) - 4 * m,
+                    writes=lambda n, m: 4 * n - 1 - 4 * m,
+                    forced=lambda n, m: 3 * n - 1 - 3 * m),
+        CostFormula("vote_reliable", "PN & Vote Reliable",
+                    flows=lambda n, m: 4 * (n - 1) - m,
+                    writes=lambda n, m: 4 * n - 1,
+                    forced=lambda n, m: 3 * n - 1),
+        # A local LRM writes prepared/committed/end (3, none forced)
+        # where a remote PN subordinate writes 4 records, 3 forced.
+        CostFormula("shared_logs", "PN & Shared Logs",
+                    flows=lambda n, m: 4 * (n - 1),
+                    writes=lambda n, m: 4 * n - 1 - m,
+                    forced=lambda n, m: 3 * n - 1 - 3 * m),
+        CostFormula("long_locks", "PN & Long Locks",
+                    flows=lambda n, m: 4 * (n - 1) - m,
+                    writes=lambda n, m: 4 * n - 1,
+                    forced=lambda n, m: 3 * n - 1),
+    ]
+}
+
+TABLE3_PC_FORMULAS: Dict[str, CostFormula] = {
+    formula.key: formula for formula in [
+        CostFormula("base", "PC (no optimizations)",
+                    flows=lambda n, m: 3 * (n - 1),
+                    writes=lambda n, m: 2 * n + 1,
+                    forced=lambda n, m: n + 1),
+        # A PC subordinate already skips the ack, so read-only saves
+        # only the commit flow (m, not 2m).
+        CostFormula("read_only", "PC & Read Only",
+                    flows=lambda n, m: 3 * (n - 1) - m,
+                    writes=lambda n, m: 2 * n + 1 - 2 * m,
+                    forced=lambda n, m: n + 1 - m),
+        # Last agent HURTS PC on logging: each delegator adds a forced
+        # prepared record while the saved edge had no ack to remove.
+        CostFormula("last_agent", "PC & Last Agent",
+                    flows=lambda n, m: 3 * (n - 1) - m,
+                    writes=lambda n, m: 2 * n + 1 + m,
+                    forced=lambda n, m: n + 1 + m),
+        CostFormula("unsolicited_vote", "PC & Unsolicited Vote",
+                    flows=lambda n, m: 3 * (n - 1) - m,
+                    writes=lambda n, m: 2 * n + 1,
+                    forced=lambda n, m: n + 1),
+        CostFormula("leave_out", "PC & OK-To-Leave-Out",
+                    flows=lambda n, m: 3 * (n - 1) - 3 * m,
+                    writes=lambda n, m: 2 * n + 1 - 2 * m,
+                    forced=lambda n, m: n + 1 - m),
+        # PC has no commit acknowledgments to waive: no savings at all.
+        CostFormula("vote_reliable", "PC & Vote Reliable",
+                    flows=lambda n, m: 3 * (n - 1),
+                    writes=lambda n, m: 2 * n + 1,
+                    forced=lambda n, m: n + 1),
+        # A local LRM costs 4 local exchanges and 3 records where the
+        # remote PC edge costs 3 flows and 2 records — but saves the
+        # subordinate's prepared force.
+        CostFormula("shared_logs", "PC & Shared Logs",
+                    flows=lambda n, m: 3 * (n - 1) + m,
+                    writes=lambda n, m: 2 * n + 1 + m,
+                    forced=lambda n, m: n + 1 - m),
+        # Nothing to defer: PC commits without acks.
+        CostFormula("long_locks", "PC & Long Locks",
+                    flows=lambda n, m: 3 * (n - 1),
+                    writes=lambda n, m: 2 * n + 1,
+                    forced=lambda n, m: n + 1),
+    ]
+}

@@ -1,0 +1,96 @@
+"""LaTeX rendering of the regenerated tables.
+
+For dropping the reproduction's numbers straight into a paper-style
+document: `table2_latex()` etc. return complete ``tabular``
+environments with the paper's values beside the measured ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.scenarios import (
+    TABLE2_SCENARIOS,
+    run_table3_scenario,
+    run_table4_scenario,
+)
+from repro.analysis.tables import table2_rows, table3_rows, table4_rows
+
+
+def _escape(text: str) -> str:
+    for char in ("&", "%", "#", "_"):
+        text = text.replace(char, "\\" + char)
+    return text
+
+
+def latex_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                caption: str, label: str) -> str:
+    """A complete table environment."""
+    column_spec = "l" * len(headers)
+    lines = [
+        "\\begin{table}[t]",
+        "\\centering",
+        f"\\caption{{{_escape(caption)}}}",
+        f"\\label{{{label}}}",
+        f"\\begin{{tabular}}{{{column_spec}}}",
+        "\\toprule",
+        " & ".join(_escape(str(h)) for h in headers) + " \\\\",
+        "\\midrule",
+    ]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        lines.append(" & ".join(_escape(str(cell)) for cell in row)
+                     + " \\\\")
+    lines += ["\\bottomrule", "\\end{tabular}", "\\end{table}"]
+    return "\n".join(lines)
+
+
+def _triple(summary) -> str:
+    return (f"{summary.flows}/{summary.log_writes}/"
+            f"{summary.forced_writes}")
+
+
+def table2_latex() -> str:
+    rows: List[List[str]] = []
+    for row in table2_rows():
+        result = TABLE2_SCENARIOS[row.key]()
+        rows.append([row.label, _triple(row.coordinator),
+                     _triple(result.coordinator),
+                     _triple(row.subordinate),
+                     _triple(result.subordinate)])
+    return latex_table(
+        ["2PC Type", "Coord (paper)", "Coord (measured)",
+         "Sub (paper)", "Sub (measured)"],
+        rows,
+        caption="Logging and network traffic of 2PC optimizations "
+                "(flows/writes/forced), paper vs measured.",
+        label="tab:table2")
+
+
+def table3_latex(n: int = 11, m: int = 4) -> str:
+    rows = []
+    for row in table3_rows(n=n, m=m):
+        result = run_table3_scenario(row.key, n, m)
+        rows.append([row.label, row.flows_formula,
+                     _triple(row.analytic), _triple(result.total)])
+    return latex_table(
+        ["2PC Type", "Flows", f"Paper ($n={n}$, $m={m}$)", "Measured"],
+        rows,
+        caption=f"Costs for optimizations with $n={n}$ participants, "
+                f"$m={m}$ optimized.",
+        label="tab:table3")
+
+
+def table4_latex(r: int = 12) -> str:
+    rows = []
+    for row in table4_rows(r=r):
+        measured = run_table4_scenario(row.variant, row.r)
+        rows.append([row.label, row.flows_formula,
+                     _triple(row.analytic), _triple(measured)])
+    return latex_table(
+        ["2PC Type", "Flows", f"Paper ($r={r}$)", "Measured"],
+        rows,
+        caption=f"Long-locks costs over $r={r}$ chained transactions.",
+        label="tab:table4")

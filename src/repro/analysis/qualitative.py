@@ -1,0 +1,86 @@
+"""Table 1: the qualitative advantage/disadvantage matrix.
+
+Reproduced verbatim from the paper, with a machine-checkable mapping
+onto the library's behaviour: each row names the metrics the test
+suite verifies the advantage/disadvantage against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    optimization: str
+    advantages: str
+    disadvantages: str
+    #: Which measurable effects our tests verify for this row.
+    verified_by: List[str] = field(default_factory=list)
+
+
+TABLE1: List[Table1Row] = [
+    Table1Row(
+        "Read Only",
+        "fewer messages, fewer log writes, early release of locks",
+        "no knowledge of the outcome of a transaction, potential "
+        "serializability problems",
+        verified_by=["commit flows -2m", "log writes -3m",
+                     "lock release at prepare time",
+                     "serialization anomaly demo (peer environment)"]),
+    Table1Row(
+        "Last Agent",
+        "fewer messages, early release of locks",
+        "one extra forced write possible",
+        verified_by=["commit flows -2m",
+                     "PA initiator force-writes prepared before delegating"]),
+    Table1Row(
+        "Unsolicited Vote",
+        "fewer messages, early release of locks",
+        "application specific",
+        verified_by=["commit flows -m",
+                     "participant must know its work is finished"]),
+    Table1Row(
+        "OK To Leave Out",
+        "no log writes, no messages",
+        "partitioned-tree hazard if the left-out partner is not truly "
+        "suspended (paper Figure 5)",
+        verified_by=["zero flows/writes for left-out members",
+                     "figure-5 damage demonstration"]),
+    Table1Row(
+        "Vote Reliable",
+        "fewer message flows",
+        "damage reporting to root coordinator lost if reliable resource "
+        "does take a heuristic decision",
+        verified_by=["commit flows -m",
+                     "heuristic report loss test"]),
+    Table1Row(
+        "Wait For Outcome",
+        "2PC doesn't block for most network partitions",
+        "complete outcome of transaction may not be known by coordinator",
+        verified_by=["commit completes with outcome-pending under "
+                     "partition", "background recovery resolves later"]),
+    Table1Row(
+        "Long Locks",
+        "fewer network flows",
+        "commit decision can be delayed and locks held longer if combined "
+        "with last-agent optimization, and no messages flow for the next "
+        "transaction (application design problem)",
+        verified_by=["commit flows 3r / 3r/2",
+                     "coordinator lock-hold stretch measurement"]),
+    Table1Row(
+        "Shared Logs",
+        "fewer forced writes",
+        "independence of resource manager and transaction manager "
+        "sacrificed",
+        verified_by=["LRM protocol records 0 forced",
+                     "crash before TM force loses both records "
+                     "consistently (abort)"]),
+    Table1Row(
+        "Group Commit",
+        "fewer forced writes, overall system throughput maximized",
+        "longer lock holding times for individual transactions",
+        verified_by=["physical I/Os ~ F/g", "mean lock hold increases "
+                     "with group size"]),
+]

@@ -1,0 +1,40 @@
+"""Plain-text table rendering for benchmark output and the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table with column-width alignment."""
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i])
+                          for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append(separator)
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def cost_cell(summary) -> str:
+    """Render a CostSummary as the paper's (flows, writes, forced) triple."""
+    return (f"{summary.flows}f / {summary.log_writes}w / "
+            f"{summary.forced_writes}F")

@@ -1,0 +1,449 @@
+"""Simulator scenarios matching each table row.
+
+Every row of Tables 2-4 maps to a function here that builds a cluster,
+runs the protocol, and returns the measured cost triple(s).  The
+benchmarks and the reproduction tests compare these against the
+analytic formulas in :mod:`repro.analysis.formulas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    BASIC_2PC,
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+    ProtocolConfig,
+)
+from repro.core.spec import ParticipantSpec, TransactionSpec, flat_tree
+from repro.lrm.operations import read_op, write_op
+from repro.metrics.collector import CostSummary
+
+
+@dataclass
+class ScenarioResult:
+    """Measured costs of one scenario run."""
+
+    outcome: str
+    total: CostSummary
+    coordinator: Optional[CostSummary] = None
+    subordinate: Optional[CostSummary] = None
+    cluster: Optional[Cluster] = None
+    txn_id: Optional[str] = None
+
+
+def _updating_flat_tree(root: str, children: List[str]) -> TransactionSpec:
+    spec = flat_tree(root, children)
+    for participant in spec.participants:
+        participant.ops.append(write_op(f"key-{participant.node}", 1))
+    return spec
+
+
+def _two_node_cluster(config: ProtocolConfig, **kwargs) -> Cluster:
+    return Cluster(config, nodes=["coord", "sub"], **kwargs)
+
+
+def _result(cluster: Cluster, spec: TransactionSpec, outcome: str,
+            subordinate: str = "sub") -> ScenarioResult:
+    metrics = cluster.metrics
+    return ScenarioResult(
+        outcome=outcome,
+        total=metrics.cost_summary(spec.txn_id),
+        coordinator=metrics.node_costs("coord", spec.txn_id),
+        subordinate=(metrics.node_costs(subordinate, spec.txn_id)
+                     if subordinate in cluster.nodes else None),
+        cluster=cluster,
+        txn_id=spec.txn_id)
+
+
+# ----------------------------------------------------------------------
+# Table 2 scenarios: one coordinator, one subordinate
+# ----------------------------------------------------------------------
+def basic_2pc_commit() -> ScenarioResult:
+    cluster = _two_node_cluster(BASIC_2PC)
+    spec = _updating_flat_tree("coord", ["sub"])
+    handle = cluster.run_transaction(spec)
+    return _result(cluster, spec, handle.outcome)
+
+
+def pn_commit() -> ScenarioResult:
+    cluster = _two_node_cluster(PRESUMED_NOTHING)
+    spec = _updating_flat_tree("coord", ["sub"])
+    handle = cluster.run_transaction(spec)
+    return _result(cluster, spec, handle.outcome)
+
+
+def pa_commit() -> ScenarioResult:
+    cluster = _two_node_cluster(PRESUMED_ABORT)
+    spec = _updating_flat_tree("coord", ["sub"])
+    handle = cluster.run_transaction(spec)
+    return _result(cluster, spec, handle.outcome)
+
+
+def pa_abort() -> ScenarioResult:
+    """The subordinate votes NO; PA writes and acknowledges nothing."""
+    cluster = _two_node_cluster(PRESUMED_ABORT)
+    spec = _updating_flat_tree("coord", ["sub"])
+    spec.participant("sub").veto = True
+    handle = cluster.run_transaction(spec)
+    return _result(cluster, spec, handle.outcome)
+
+
+def pa_read_only() -> ScenarioResult:
+    cluster = _two_node_cluster(PRESUMED_ABORT)
+    spec = flat_tree("coord", ["sub"])
+    spec.participant("sub").ops.append(read_op("key"))
+    handle = cluster.run_transaction(spec)
+    return _result(cluster, spec, handle.outcome)
+
+
+def pa_last_agent() -> ScenarioResult:
+    cluster = _two_node_cluster(PRESUMED_ABORT.with_options(last_agent=True))
+    spec = _updating_flat_tree("coord", ["sub"])
+    spec.participant("sub").last_agent = True
+    handle = cluster.run_transaction(spec)
+    cluster.finalize_implied_acks()
+    return _result(cluster, spec, handle.outcome)
+
+
+def pa_unsolicited_vote() -> ScenarioResult:
+    cluster = _two_node_cluster(
+        PRESUMED_ABORT.with_options(unsolicited_vote=True))
+    spec = _updating_flat_tree("coord", ["sub"])
+    spec.participant("sub").unsolicited_vote = True
+    handle = cluster.run_transaction(spec)
+    return _result(cluster, spec, handle.outcome)
+
+
+def pa_leave_out() -> ScenarioResult:
+    """The subordinate offered OK-TO-LEAVE-OUT last transaction and does
+    no work in this one: zero flows, zero logs (Table 2's vote-out row).
+
+    The measured transaction is the SECOND one; the first establishes
+    the leave-out promise.
+    """
+    cluster = _two_node_cluster(PRESUMED_ABORT.with_options(leave_out=True))
+    warmup = _updating_flat_tree("coord", ["sub"])
+    warmup.participant("sub").ok_to_leave_out = True
+    cluster.run_transaction(warmup)
+    # The measured transaction touches nothing that requires phase two:
+    # the row isolates the left-out partner's cost, which is zero.
+    spec = flat_tree("coord", [])
+    spec.participant("coord").ops.append(read_op("local"))
+    handle = cluster.run_transaction(spec)
+    metrics = cluster.metrics
+    return ScenarioResult(
+        outcome=handle.outcome,
+        total=metrics.cost_summary(spec.txn_id),
+        coordinator=metrics.node_costs("coord", spec.txn_id),
+        subordinate=metrics.node_costs("sub", spec.txn_id),
+        cluster=cluster, txn_id=spec.txn_id)
+
+
+def pa_vote_reliable() -> ScenarioResult:
+    """The subordinate's resources are reliable: its ack is waived."""
+    cluster = Cluster(PRESUMED_ABORT.with_options(vote_reliable=True),
+                      nodes=["coord", "sub"], reliable_nodes=["sub"])
+    spec = _updating_flat_tree("coord", ["sub"])
+    handle = cluster.run_transaction(spec)
+    return _result(cluster, spec, handle.outcome)
+
+
+def pa_wait_for_outcome() -> ScenarioResult:
+    """Wait-for-outcome changes nothing in the failure-free case."""
+    cluster = _two_node_cluster(
+        PRESUMED_ABORT.with_options(wait_for_outcome=True, ack_timeout=30.0))
+    spec = _updating_flat_tree("coord", ["sub"])
+    handle = cluster.run_transaction(spec)
+    return _result(cluster, spec, handle.outcome)
+
+
+def pa_shared_logs() -> ScenarioResult:
+    """The 'subordinate' is a detached local LRM sharing the TM's log:
+    its records ride the TM's commit force (3 writes, 0 forced), and
+    its 'flows' are the local prepare/vote/commit/ack exchanges."""
+    cluster = Cluster(PRESUMED_ABORT.with_options(shared_log=True),
+                      nodes=["coord"])
+    cluster.node("coord").add_detached_rm("db")
+    spec = flat_tree("coord", [])
+    spec.participant("coord").rm_ops["db"] = [write_op("key", 1)]
+    handle = cluster.run_transaction(spec)
+    metrics = cluster.metrics
+    lrm_flows = (metrics.local_flows.total(node="coord", kind="vote")
+                 + metrics.local_flows.total(node="coord", kind="ack"))
+    tm_flows = (metrics.local_flows.total(node="coord", kind="prepare")
+                + metrics.local_flows.total(node="coord", kind="commit"))
+    return ScenarioResult(
+        outcome=handle.outcome,
+        total=CostSummary(
+            flows=lrm_flows + tm_flows,
+            log_writes=metrics.total_log_writes(txn=spec.txn_id),
+            forced_writes=metrics.forced_log_writes(txn=spec.txn_id)),
+        coordinator=CostSummary(
+            flows=tm_flows,
+            log_writes=metrics.total_log_writes(node="coord",
+                                                txn=spec.txn_id),
+            forced_writes=metrics.forced_log_writes(node="coord",
+                                                    txn=spec.txn_id)),
+        subordinate=CostSummary(
+            flows=lrm_flows,
+            log_writes=metrics.total_log_writes(node="coord/db",
+                                                txn=spec.txn_id),
+            forced_writes=metrics.forced_log_writes(node="coord/db",
+                                                    txn=spec.txn_id)),
+        cluster=cluster, txn_id=spec.txn_id)
+
+
+def pc_commit() -> ScenarioResult:
+    cluster = _two_node_cluster(PRESUMED_COMMIT)
+    spec = _updating_flat_tree("coord", ["sub"])
+    handle = cluster.run_transaction(spec)
+    return _result(cluster, spec, handle.outcome)
+
+
+TABLE2_SCENARIOS: Dict[str, Callable[[], ScenarioResult]] = {
+    "basic": basic_2pc_commit,
+    "pn": pn_commit,
+    "pa_commit": pa_commit,
+    "pa_abort": pa_abort,
+    "pa_read_only": pa_read_only,
+    "pa_last_agent": pa_last_agent,
+    "pa_unsolicited_vote": pa_unsolicited_vote,
+    "pa_leave_out": pa_leave_out,
+    "pa_vote_reliable": pa_vote_reliable,
+    "pa_wait_for_outcome": pa_wait_for_outcome,
+    "pa_shared_logs": pa_shared_logs,
+    "pc_commit": pc_commit,
+}
+
+
+# ----------------------------------------------------------------------
+# Table 3 scenarios: n members, m following one optimization
+# ----------------------------------------------------------------------
+def _names(n: int) -> List[str]:
+    return [f"n{i}" for i in range(n)]
+
+
+def run_table3_scenario(key: str, n: int, m: int,
+                        base: Optional[ProtocolConfig] = None
+                        ) -> ScenarioResult:
+    """Run the (key, n, m) cell of Table 3 and return measured costs.
+
+    ``base`` substitutes the presumption the optimization is layered
+    on (the paper analyses over PA; PN and PC variants are our
+    extension — see TABLE3_PN/PC_FORMULAS in formulas.py).
+    """
+    if key not in _TABLE3_RUNNERS:
+        raise KeyError(f"unknown Table 3 scenario {key!r}")
+    return _TABLE3_RUNNERS[key](n, m, base or PRESUMED_ABORT)
+
+
+def _t3_basic(n: int, m: int, base: ProtocolConfig = BASIC_2PC
+              ) -> ScenarioResult:
+    del base  # the baseline row is always the Section 2 protocol
+    cluster = Cluster(BASIC_2PC, nodes=_names(n))
+    spec = _updating_flat_tree("n0", _names(n)[1:])
+    handle = cluster.run_transaction(spec)
+    return ScenarioResult(handle.outcome, cluster.metrics.cost_summary(
+        spec.txn_id), cluster=cluster, txn_id=spec.txn_id)
+
+
+def _t3_read_only(n: int, m: int,
+                  base: ProtocolConfig = PRESUMED_ABORT) -> ScenarioResult:
+    cluster = Cluster(base, nodes=_names(n))
+    spec = flat_tree("n0", _names(n)[1:])
+    for i, participant in enumerate(spec.participants):
+        if 1 <= i <= m:
+            participant.ops.append(read_op("shared"))
+        else:
+            participant.ops.append(write_op(f"key-{participant.node}", 1))
+    handle = cluster.run_transaction(spec)
+    return ScenarioResult(handle.outcome, cluster.metrics.cost_summary(
+        spec.txn_id), cluster=cluster, txn_id=spec.txn_id)
+
+
+def _t3_last_agent(n: int, m: int,
+                   base: ProtocolConfig = PRESUMED_ABORT
+                   ) -> ScenarioResult:
+    """m last agents form a delegation chain hanging off the root."""
+    names = _names(n)
+    cluster = Cluster(base.with_options(last_agent=True), nodes=names)
+    participants = [ParticipantSpec(node="n0",
+                                    ops=[write_op("key-n0", 1)])]
+    flat = names[1:n - m]
+    chain = names[n - m:]
+    for name in flat:
+        participants.append(ParticipantSpec(
+            node=name, parent="n0", ops=[write_op(f"key-{name}", 1)]))
+    previous = "n0"
+    for name in chain:
+        participants.append(ParticipantSpec(
+            node=name, parent=previous, ops=[write_op(f"key-{name}", 1)],
+            last_agent=True))
+        previous = name
+    spec = TransactionSpec(participants=participants)
+    handle = cluster.run_transaction(spec)
+    cluster.finalize_implied_acks()
+    return ScenarioResult(handle.outcome, cluster.metrics.cost_summary(
+        spec.txn_id), cluster=cluster, txn_id=spec.txn_id)
+
+
+def _t3_unsolicited(n: int, m: int,
+                    base: ProtocolConfig = PRESUMED_ABORT
+                    ) -> ScenarioResult:
+    cluster = Cluster(base.with_options(unsolicited_vote=True),
+                      nodes=_names(n))
+    spec = _updating_flat_tree("n0", _names(n)[1:])
+    for participant in spec.participants[1:m + 1]:
+        participant.unsolicited_vote = True
+    handle = cluster.run_transaction(spec)
+    return ScenarioResult(handle.outcome, cluster.metrics.cost_summary(
+        spec.txn_id), cluster=cluster, txn_id=spec.txn_id)
+
+
+def _t3_leave_out(n: int, m: int,
+                  base: ProtocolConfig = PRESUMED_ABORT
+                  ) -> ScenarioResult:
+    """Warm-up enrolls everyone with leave-out offers from m members;
+    the measured transaction involves only the other n-m."""
+    names = _names(n)
+    cluster = Cluster(base.with_options(leave_out=True), nodes=names)
+    warmup = _updating_flat_tree("n0", names[1:])
+    for participant in warmup.participants[1:m + 1]:
+        participant.ok_to_leave_out = True
+    cluster.run_transaction(warmup)
+    spec = _updating_flat_tree("n0", names[m + 1:])
+    handle = cluster.run_transaction(spec)
+    return ScenarioResult(handle.outcome, cluster.metrics.cost_summary(
+        spec.txn_id), cluster=cluster, txn_id=spec.txn_id)
+
+
+def _t3_vote_reliable(n: int, m: int,
+                      base: ProtocolConfig = PRESUMED_ABORT
+                      ) -> ScenarioResult:
+    names = _names(n)
+    cluster = Cluster(base.with_options(vote_reliable=True),
+                      nodes=names, reliable_nodes=names[1:m + 1])
+    spec = _updating_flat_tree("n0", names[1:])
+    handle = cluster.run_transaction(spec)
+    return ScenarioResult(handle.outcome, cluster.metrics.cost_summary(
+        spec.txn_id), cluster=cluster, txn_id=spec.txn_id)
+
+
+def _t3_wait_for_outcome(n: int, m: int,
+                         base: ProtocolConfig = PRESUMED_ABORT
+                         ) -> ScenarioResult:
+    cluster = Cluster(base.with_options(wait_for_outcome=True,
+                                        ack_timeout=30.0),
+                      nodes=_names(n))
+    spec = _updating_flat_tree("n0", _names(n)[1:])
+    handle = cluster.run_transaction(spec)
+    return ScenarioResult(handle.outcome, cluster.metrics.cost_summary(
+        spec.txn_id), cluster=cluster, txn_id=spec.txn_id)
+
+
+def _t3_shared_logs(n: int, m: int,
+                    base: ProtocolConfig = PRESUMED_ABORT
+                    ) -> ScenarioResult:
+    """m participants are detached LRMs on the coordinator sharing its
+    log; the other n-1-m are remote subordinates.  Flows include the
+    LRMs' local exchanges, as the paper's accounting does."""
+    names = _names(n - m)
+    cluster = Cluster(base.with_options(shared_log=True), nodes=names)
+    for i in range(m):
+        cluster.node("n0").add_detached_rm(f"lrm{i}")
+    spec = _updating_flat_tree("n0", names[1:])
+    for i in range(m):
+        spec.participant("n0").rm_ops[f"lrm{i}"] = [write_op(f"lk{i}", 1)]
+    handle = cluster.run_transaction(spec)
+    metrics = cluster.metrics
+    local = metrics.local_flows.total(node="n0")
+    base = metrics.cost_summary(spec.txn_id)
+    return ScenarioResult(
+        handle.outcome,
+        CostSummary(flows=base.flows + local, log_writes=base.log_writes,
+                    forced_writes=base.forced_writes),
+        cluster=cluster, txn_id=spec.txn_id)
+
+
+def _t3_long_locks(n: int, m: int,
+                   base: ProtocolConfig = PRESUMED_ABORT
+                   ) -> ScenarioResult:
+    cluster = Cluster(base.with_options(long_locks=True),
+                      nodes=_names(n))
+    spec = _updating_flat_tree("n0", _names(n)[1:])
+    deferred_members = [p.node for p in spec.participants[1:m + 1]]
+    for participant in spec.participants[1:m + 1]:
+        participant.long_locks = True
+    handle = cluster.run_transaction(spec)
+    # The conversation continues: ordinary data from each long-locks
+    # member carries its deferred ack (data flows only).
+    for member in deferred_members:
+        cluster.send_application_data(member, "n0")
+    return ScenarioResult(handle.outcome, cluster.metrics.cost_summary(
+        spec.txn_id), cluster=cluster, txn_id=spec.txn_id)
+
+
+_TABLE3_RUNNERS: Dict[str, Callable[..., ScenarioResult]] = {
+    "basic": _t3_basic,
+    "read_only": _t3_read_only,
+    "last_agent": _t3_last_agent,
+    "unsolicited_vote": _t3_unsolicited,
+    "leave_out": _t3_leave_out,
+    "vote_reliable": _t3_vote_reliable,
+    "wait_for_outcome": _t3_wait_for_outcome,
+    "shared_logs": _t3_shared_logs,
+    "long_locks": _t3_long_locks,
+}
+
+
+# ----------------------------------------------------------------------
+# Table 4 scenarios: r chained 2-member transactions
+# ----------------------------------------------------------------------
+def run_table4_scenario(variant: str, r: int) -> CostSummary:
+    """Measured costs of r chained transactions under one variant."""
+    if variant == "basic":
+        config = PRESUMED_ABORT
+    elif variant == "long_locks":
+        config = PRESUMED_ABORT.with_options(long_locks=True)
+    elif variant == "long_locks_last_agent":
+        if r % 2:
+            raise ValueError("the paired pattern needs an even r")
+        config = PRESUMED_ABORT.with_options(long_locks=True,
+                                             last_agent=True)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    cluster = Cluster(config, nodes=["a", "b"])
+    txn_ids = []
+    for i in range(r):
+        root, other = ("a", "b") if i % 2 == 0 else ("b", "a")
+        participants = [
+            ParticipantSpec(node=root, ops=[write_op(f"r{i}", i)]),
+            ParticipantSpec(node=other, parent=root,
+                            ops=[write_op(f"s{i}", i)],
+                            last_agent=(variant == "long_locks_last_agent")),
+        ]
+        # In the paired last-agent pattern the first transaction of each
+        # pair defers its decision onto the second's traffic.
+        long_locks = (variant == "long_locks" or
+                      (variant == "long_locks_last_agent" and i % 2 == 0))
+        spec = TransactionSpec(participants=participants,
+                               long_locks=long_locks)
+        cluster.run_transaction(spec)
+        txn_ids.append(spec.txn_id)
+    # Close the chain: the conversations continue with ordinary data,
+    # which carries the final deferred/implied acks (data flows only).
+    cluster.send_application_data("a", "b")
+    cluster.send_application_data("b", "a")
+    cluster.finalize_implied_acks()
+    flows = sum(cluster.metrics.commit_flows(txn=txn) for txn in txn_ids)
+    writes = sum(cluster.metrics.total_log_writes(txn=txn)
+                 for txn in txn_ids)
+    forced = sum(cluster.metrics.forced_log_writes(txn=txn)
+                 for txn in txn_ids)
+    return CostSummary(flows=flows, log_writes=writes, forced_writes=forced)

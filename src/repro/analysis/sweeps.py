@@ -1,0 +1,124 @@
+"""Parameter-sweep framework.
+
+Structured sweeps over the simulator — tree size, tree depth, link
+speed, read-only fraction — producing row dictionaries that render as
+tables or CSV.  Used by ``benchmarks/bench_scaling.py`` and available
+to downstream users who want the shape of a curve rather than one
+point.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    BASIC_2PC,
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+    ProtocolConfig,
+)
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import read_op, write_op
+from repro.net.latency import ConstantLatency
+from repro.workload.trees import balanced_tree_spec, chain_spec, flat_spec
+
+Row = Dict[str, object]
+
+PRESUMPTIONS: Dict[str, ProtocolConfig] = {
+    "basic": BASIC_2PC,
+    "pa": PRESUMED_ABORT,
+    "pn": PRESUMED_NOTHING,
+    "pc": PRESUMED_COMMIT,
+}
+
+
+def rows_to_csv(rows: Sequence[Row]) -> str:
+    """Render sweep rows as CSV (stable column order from first row)."""
+    if not rows:
+        return ""
+    columns = list(rows[0].keys())
+    out = io.StringIO()
+    out.write(",".join(columns) + "\n")
+    for row in rows:
+        if set(row.keys()) != set(columns):
+            raise ValueError(f"inconsistent row keys: {sorted(row)} vs "
+                             f"{columns}")
+        out.write(",".join(str(row[c]) for c in columns) + "\n")
+    return out.getvalue()
+
+
+def _run_spec(config: ProtocolConfig, spec: TransactionSpec,
+              latency: float = 1.0) -> Row:
+    nodes = [p.node for p in spec.participants]
+    cluster = Cluster(config, nodes=nodes,
+                      latency=ConstantLatency(latency))
+    handle = cluster.run_transaction(spec)
+    assert handle.committed
+    return {
+        "flows": cluster.metrics.commit_flows(txn=spec.txn_id),
+        "writes": cluster.metrics.total_log_writes(txn=spec.txn_id),
+        "forced": cluster.metrics.forced_log_writes(txn=spec.txn_id),
+        "latency": round(handle.latency, 3),
+    }
+
+
+def sweep_tree_size(sizes: Sequence[int],
+                    presumptions: Sequence[str] = ("basic", "pa", "pn",
+                                                   "pc")) -> List[Row]:
+    """Flat trees: cost vs participant count, per presumption."""
+    rows: List[Row] = []
+    for n in sizes:
+        names = [f"n{i}" for i in range(n)]
+        for name in presumptions:
+            spec = flat_spec(names)
+            result = _run_spec(PRESUMPTIONS[name], spec)
+            rows.append({"n": n, "presumption": name, **result})
+    return rows
+
+
+def sweep_tree_depth(total_nodes: int,
+                     fanouts: Sequence[int]) -> List[Row]:
+    """Same node count, different shapes: latency grows with depth
+    while flows stay constant (4 per edge regardless of shape)."""
+    rows: List[Row] = []
+    names = [f"n{i}" for i in range(total_nodes)]
+    for fanout in fanouts:
+        spec = (chain_spec(names) if fanout == 1
+                else balanced_tree_spec(names, fanout=fanout))
+        result = _run_spec(PRESUMED_ABORT, spec)
+        rows.append({"shape": f"fanout-{fanout}", **result})
+    return rows
+
+
+def sweep_read_only_fraction(n: int,
+                             reader_counts: Sequence[int]) -> List[Row]:
+    """Flat tree of n: cost vs how many members are read-only."""
+    rows: List[Row] = []
+    names = [f"n{i}" for i in range(n)]
+    for readers in reader_counts:
+        participants = [ParticipantSpec(node="n0",
+                                        ops=[write_op("root-key", 1)])]
+        for index, name in enumerate(names[1:]):
+            ops = ([read_op("catalogue")] if index < readers
+                   else [write_op(f"k-{name}", 1)])
+            participants.append(ParticipantSpec(node=name, parent="n0",
+                                                ops=ops))
+        spec = TransactionSpec(participants=participants)
+        result = _run_spec(PRESUMED_ABORT, spec)
+        rows.append({"readers": readers, **result})
+    return rows
+
+
+def sweep_link_speed(latencies: Sequence[float],
+                     n: int = 4) -> List[Row]:
+    """Commit latency vs one-way link delay (flows are invariant)."""
+    rows: List[Row] = []
+    names = [f"n{i}" for i in range(n)]
+    for delay in latencies:
+        spec = flat_spec(names)
+        result = _run_spec(PRESUMED_ABORT, spec, latency=delay)
+        rows.append({"link_delay": delay, **result})
+    return rows

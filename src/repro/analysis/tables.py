@@ -1,0 +1,136 @@
+"""Row definitions for the paper's Tables 2-4.
+
+Each row couples the paper's analytic values with the key of the
+simulator scenario that measures the same configuration.  Where the
+scanned paper is OCR-garbled, the analytic value is reconstructed from
+the per-optimization prose (see DESIGN.md §4 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.formulas import (
+    TABLE3_FORMULAS,
+    long_locks_costs,
+)
+from repro.metrics.collector import CostSummary
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One protocol/optimization row of Table 2 (2-participant txn)."""
+
+    key: str                     # scenario key in TABLE2_SCENARIOS
+    label: str
+    coordinator_flows: int
+    coordinator_writes: int
+    coordinator_forced: int
+    subordinate_flows: int
+    subordinate_writes: int
+    subordinate_forced: int
+    note: str = ""
+
+    @property
+    def coordinator(self) -> CostSummary:
+        return CostSummary(self.coordinator_flows, self.coordinator_writes,
+                           self.coordinator_forced)
+
+    @property
+    def subordinate(self) -> CostSummary:
+        return CostSummary(self.subordinate_flows, self.subordinate_writes,
+                           self.subordinate_forced)
+
+    @property
+    def total(self) -> CostSummary:
+        return CostSummary(
+            self.coordinator_flows + self.subordinate_flows,
+            self.coordinator_writes + self.subordinate_writes,
+            self.coordinator_forced + self.subordinate_forced)
+
+
+def table2_rows() -> List[Table2Row]:
+    """The eleven rows of Table 2 plus the Presumed Commit extension."""
+    return [
+        Table2Row("basic", "Basic 2PC", 2, 2, 1, 2, 3, 2),
+        Table2Row("pn", "PN", 2, 3, 2, 2, 4, 3),
+        Table2Row("pa_commit", "PA, Commit case", 2, 2, 1, 2, 3, 2),
+        Table2Row("pa_abort", "PA, Abort case", 2, 0, 0, 1, 0, 0),
+        Table2Row("pa_read_only", "PA, Read-Only case", 1, 0, 0, 1, 0, 0),
+        Table2Row("pa_last_agent", "PA & Last Agent", 1, 3, 2, 1, 2, 1),
+        Table2Row("pa_unsolicited_vote", "PA & Unsolicited Vote",
+                  1, 2, 1, 2, 3, 2),
+        Table2Row("pa_leave_out", "PA & OK-To-Leave-Out (vote-out)",
+                  0, 0, 0, 0, 0, 0),
+        Table2Row("pa_vote_reliable", "PA & Vote Reliable", 2, 2, 1, 1, 3, 2,
+                  note="reliable subordinate's ack waived (Table 3: -m "
+                       "flows); the scanned Table 2 row is OCR-garbled"),
+        Table2Row("pa_wait_for_outcome", "PA & Wait For Outcome",
+                  2, 2, 1, 2, 3, 2,
+                  note="identical to PA in the failure-free case"),
+        Table2Row("pa_shared_logs", "PA & Shared Logs", 2, 2, 1, 2, 3, 0,
+                  note="'subordinate' is a local LRM sharing the TM log; "
+                       "flows are local exchanges"),
+        Table2Row("pc_commit", "PC, Commit case (extension)",
+                  2, 3, 2, 1, 2, 1,
+                  note="beyond the paper: Mohan & Lindsay's companion "
+                       "presumption"),
+    ]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table 3: n members, m following the optimization."""
+
+    key: str
+    label: str
+    n: int
+    m: int
+
+    @property
+    def analytic(self) -> CostSummary:
+        return TABLE3_FORMULAS[self.key].costs(self.n, self.m)
+
+    @property
+    def flows_formula(self) -> str:
+        return {
+            "basic": "4(n-1)",
+            "read_only": "4(n-1) - 2m",
+            "last_agent": "4(n-1) - 2m",
+            "unsolicited_vote": "4(n-1) - m",
+            "leave_out": "4(n-1) - 4m",
+            "vote_reliable": "4(n-1) - m",
+            "wait_for_outcome": "4(n-1)",
+            "shared_logs": "4(n-1)",
+            "long_locks": "4(n-1) - m",
+        }[self.key]
+
+
+def table3_rows(n: int = 11, m: int = 4) -> List[Table3Row]:
+    """The paper's example instantiation: n=11 participants, m=4."""
+    return [Table3Row(key=formula.key, label=formula.label, n=n, m=m)
+            for formula in TABLE3_FORMULAS.values()]
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One row of Table 4: r chained 2-member transactions."""
+
+    variant: str
+    label: str
+    r: int
+    flows_formula: str
+
+    @property
+    def analytic(self) -> CostSummary:
+        return long_locks_costs(self.r, self.variant)
+
+
+def table4_rows(r: int = 12) -> List[Table4Row]:
+    return [
+        Table4Row("basic", "Basic 2PC (PA, commit case)", r, "4r"),
+        Table4Row("long_locks", "PA & Long Locks (not last agent)", r, "3r"),
+        Table4Row("long_locks_last_agent", "PA & Long Locks (last agent)",
+                  r, "3r/2"),
+    ]

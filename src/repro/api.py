@@ -1,0 +1,161 @@
+"""A conversation-style application API.
+
+The engine's native input is a :class:`~repro.core.spec.TransactionSpec`
+built up front.  Real applications (the paper's LU 6.2 programs) issue
+work verb-by-verb and then a sync-point verb.  This module provides
+that shape: a :class:`TransactionBuilder` accumulates reads and writes
+against named nodes (and named detached resource managers), records
+per-partner sync-point options (the paper's SET_SYNCPT_OPTIONS:
+last-agent designation, OK-to-leave-out, unsolicited vote, long
+locks), and ``commit()`` runs the 2PC.
+
+Example::
+
+    app = Application(cluster, home="agency")
+    txn = app.transaction()
+    txn.write("agency", "itinerary", "NYC->LIS")
+    txn.write("hotel", "room-42", "booked")
+    txn.read("car-rental", "availability")
+    txn.write("airline", "seat-17A", "booked")
+    txn.syncpt_options("airline", last_agent=True)
+    handle = txn.commit()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.cluster import Cluster
+from repro.core.handle import TransactionHandle
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.errors import ConfigurationError, ProtocolError
+from repro.lrm.operations import read_op, write_op
+
+
+class TransactionBuilder:
+    """Accumulates one distributed transaction verb-by-verb.
+
+    Every node touched becomes a direct child of the home node in the
+    commit tree (use ``via`` on the first touch to build deeper trees).
+    """
+
+    def __init__(self, cluster: Cluster, home: str) -> None:
+        if home not in cluster.nodes:
+            raise ConfigurationError(f"unknown home node {home!r}")
+        self.cluster = cluster
+        self.home = home
+        self._participants: Dict[str, ParticipantSpec] = {
+            home: ParticipantSpec(node=home)}
+        self._committed: Optional[TransactionHandle] = None
+
+    # ------------------------------------------------------------------
+    # Data verbs
+    # ------------------------------------------------------------------
+    def _participant(self, node: str,
+                     via: Optional[str] = None) -> ParticipantSpec:
+        self._check_open()
+        if node not in self.cluster.nodes:
+            raise ConfigurationError(f"unknown node {node!r}")
+        if node not in self._participants:
+            parent = via if via is not None else self.home
+            if parent != self.home and parent not in self._participants:
+                raise ConfigurationError(
+                    f"via-parent {parent!r} not yet part of the "
+                    f"transaction")
+            self._participants[node] = ParticipantSpec(node=node,
+                                                       parent=parent)
+        return self._participants[node]
+
+    def read(self, node: str, key: str, rm: str = "default",
+             via: Optional[str] = None) -> "TransactionBuilder":
+        participant = self._participant(node, via)
+        if rm == "default":
+            participant.ops.append(read_op(key))
+        else:
+            participant.rm_ops.setdefault(rm, []).append(read_op(key))
+        return self
+
+    def write(self, node: str, key: str, value: Any, rm: str = "default",
+              via: Optional[str] = None) -> "TransactionBuilder":
+        participant = self._participant(node, via)
+        if rm == "default":
+            participant.ops.append(write_op(key, value))
+        else:
+            participant.rm_ops.setdefault(rm, []).append(
+                write_op(key, value))
+        return self
+
+    # ------------------------------------------------------------------
+    # Sync-point options (the paper's SET_SYNCPT_OPTIONS)
+    # ------------------------------------------------------------------
+    def syncpt_options(self, node: str,
+                       last_agent: Optional[bool] = None,
+                       ok_to_leave_out: Optional[bool] = None,
+                       unsolicited_vote: Optional[bool] = None,
+                       long_locks: Optional[bool] = None
+                       ) -> "TransactionBuilder":
+        self._check_open()
+        if node not in self._participants:
+            raise ConfigurationError(
+                f"{node!r} has done no work in this transaction")
+        participant = self._participants[node]
+        if last_agent is not None:
+            if node == self.home:
+                raise ConfigurationError("the initiator cannot be its "
+                                         "own last agent")
+            participant.last_agent = last_agent
+        if ok_to_leave_out is not None:
+            participant.ok_to_leave_out = ok_to_leave_out
+        if unsolicited_vote is not None:
+            participant.unsolicited_vote = unsolicited_vote
+        if long_locks is not None:
+            participant.long_locks = long_locks
+        return self
+
+    # ------------------------------------------------------------------
+    # Termination verbs
+    # ------------------------------------------------------------------
+    def build_spec(self, **spec_kwargs: Any) -> TransactionSpec:
+        self._check_open()
+        return TransactionSpec(
+            participants=list(self._participants.values()), **spec_kwargs)
+
+    def commit(self, run: bool = True,
+               **spec_kwargs: Any) -> TransactionHandle:
+        """Issue the sync-point: run 2PC over everything touched."""
+        spec = self.build_spec(**spec_kwargs)
+        if run:
+            handle = self.cluster.run_transaction(spec)
+        else:
+            handle = self.cluster.start_transaction(spec)
+        self._committed = handle
+        return handle
+
+    def backout(self, run: bool = True,
+                **spec_kwargs: Any) -> TransactionHandle:
+        """Issue a backout: the initiator vetoes its own transaction."""
+        self._check_open()
+        self._participants[self.home].veto = True
+        return self.commit(run=run, **spec_kwargs)
+
+    def _check_open(self) -> None:
+        if self._committed is not None:
+            raise ProtocolError(
+                "this transaction has already been terminated")
+
+    @property
+    def touched_nodes(self) -> list:
+        return sorted(self._participants)
+
+
+class Application:
+    """A program at a home node issuing transactions."""
+
+    def __init__(self, cluster: Cluster, home: str) -> None:
+        if home not in cluster.nodes:
+            raise ConfigurationError(f"unknown home node {home!r}")
+        self.cluster = cluster
+        self.home = home
+
+    def transaction(self) -> TransactionBuilder:
+        return TransactionBuilder(self.cluster, self.home)

@@ -1,0 +1,249 @@
+"""Command-line driver: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-2pc table 1|2|3|4 [--n N] [--m M] [--r R]
+    repro-2pc figure 1..8
+    repro-2pc compare            # every table cell, paper vs measured
+    repro-2pc profile NAME       # run a named workload profile
+    repro-2pc list-profiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.compare import compare_row
+from repro.analysis.qualitative import TABLE1
+from repro.analysis.render import cost_cell, render_table
+from repro.analysis.scenarios import (
+    TABLE2_SCENARIOS,
+    run_table3_scenario,
+    run_table4_scenario,
+)
+from repro.analysis.tables import table2_rows, table3_rows, table4_rows
+from repro.trace.figures import ALL_FIGURES
+from repro.workload.profiles import PROFILES
+
+
+def _print_table1() -> int:
+    print(render_table(
+        ["Optimization", "Advantages", "Disadvantages"],
+        [[row.optimization, row.advantages, row.disadvantages]
+         for row in TABLE1],
+        title="Table 1. Advantages and Disadvantages of 2PC Optimizations"))
+    return 0
+
+
+def _print_table2() -> int:
+    lines = []
+    failures = 0
+    for row in table2_rows():
+        result = TABLE2_SCENARIOS[row.key]()
+        coord_ok = compare_row(row.label, row.coordinator,
+                               result.coordinator).matches
+        sub_ok = compare_row(row.label, row.subordinate,
+                             result.subordinate).matches
+        failures += (not coord_ok) + (not sub_ok)
+        lines.append([row.label, cost_cell(row.coordinator),
+                      cost_cell(result.coordinator),
+                      cost_cell(row.subordinate),
+                      cost_cell(result.subordinate),
+                      "OK" if coord_ok and sub_ok else "MISMATCH"])
+    print(render_table(
+        ["2PC Type", "Coordinator (paper)", "Coordinator (measured)",
+         "Subordinate (paper)", "Subordinate (measured)", "status"],
+        lines,
+        title="Table 2. Logging and network traffic of 2PC optimizations"))
+    return 1 if failures else 0
+
+
+def _print_table3(n: int, m: int) -> int:
+    lines = []
+    failures = 0
+    for row in table3_rows(n=n, m=m):
+        result = run_table3_scenario(row.key, n, m)
+        ok = compare_row(row.label, row.analytic, result.total).matches
+        failures += not ok
+        lines.append([row.label, row.flows_formula,
+                      cost_cell(row.analytic), cost_cell(result.total),
+                      "OK" if ok else "MISMATCH"])
+    print(render_table(
+        ["2PC Type", "Flow formula", f"Paper (n={n}, m={m})",
+         "Measured", "status"],
+        lines,
+        title=f"Table 3. Costs for n={n} participants, m={m} optimized"))
+    return 1 if failures else 0
+
+
+def _print_table4(r: int) -> int:
+    lines = []
+    failures = 0
+    for row in table4_rows(r=r):
+        measured = run_table4_scenario(row.variant, row.r)
+        ok = compare_row(row.label, row.analytic, measured).matches
+        failures += not ok
+        lines.append([row.label, row.flows_formula,
+                      cost_cell(row.analytic), cost_cell(measured),
+                      "OK" if ok else "MISMATCH"])
+    print(render_table(
+        ["2PC Type", "Flow formula", f"Paper (r={r})", "Measured",
+         "status"],
+        lines,
+        title=f"Table 4. Long-locks costs, r={r} chained transactions"))
+    return 1 if failures else 0
+
+
+def _print_figure(number: int) -> int:
+    if number not in ALL_FIGURES:
+        print(f"unknown figure {number}; choose 1..8", file=sys.stderr)
+        return 2
+    result = ALL_FIGURES[number]()
+    print(result.diagram)
+    if result.commentary:
+        print()
+        print(result.commentary)
+    return 0
+
+
+def _compare_all() -> int:
+    failures = 0
+    print("== Table 2 (per-role, 2 participants) ==")
+    for row in table2_rows():
+        result = TABLE2_SCENARIOS[row.key]()
+        for role, analytic, measured in (
+                ("coordinator", row.coordinator, result.coordinator),
+                ("subordinate", row.subordinate, result.subordinate)):
+            comparison = compare_row(f"{row.label} [{role}]", analytic,
+                                     measured)
+            failures += not comparison.matches
+            print(" ", comparison.describe())
+    print("== Table 3 (n=11, m=4) ==")
+    for row in table3_rows():
+        result = run_table3_scenario(row.key, row.n, row.m)
+        comparison = compare_row(row.label, row.analytic, result.total)
+        failures += not comparison.matches
+        print(" ", comparison.describe())
+    print("== Table 4 (r=12) ==")
+    for row in table4_rows():
+        measured = run_table4_scenario(row.variant, row.r)
+        comparison = compare_row(row.label, row.analytic, measured)
+        failures += not comparison.matches
+        print(" ", comparison.describe())
+    print(f"\n{failures} mismatching cells" if failures
+          else "\nevery cell reproduces the paper")
+    return 1 if failures else 0
+
+
+def _run_profile(name: str) -> int:
+    if name not in PROFILES:
+        print(f"unknown profile {name!r}; try: "
+              f"{', '.join(sorted(PROFILES))}", file=sys.stderr)
+        return 2
+    profile = PROFILES[name]()
+    print(f"{profile.name}: {profile.description}")
+    cluster = profile.build_cluster()
+    specs = profile.specs()
+    for spec in specs:
+        handle = cluster.run_transaction(spec)
+        print(f"  {spec.txn_id}: {handle.outcome} "
+              f"({cluster.metrics.cost_summary(spec.txn_id)})")
+    cluster.finalize_implied_acks()
+    print(f"total commit flows: {cluster.metrics.commit_flows()}, "
+          f"forced writes: {cluster.metrics.forced_log_writes()}, "
+          f"mean lock hold: {cluster.metrics.mean_lock_hold():.2f}")
+    return 0
+
+
+def _full_report() -> int:
+    """Every table and figure, one markdown document on stdout."""
+    print("# Regenerated evaluation — "
+          "Two-Phase Commit Optimizations and Tradeoffs\n")
+    for builder in (_print_table1, _print_table2,
+                    lambda: _print_table3(11, 4),
+                    lambda: _print_table4(12)):
+        print("```text")
+        builder()
+        print("```\n")
+    for number in sorted(ALL_FIGURES):
+        print("```text")
+        _print_figure(number)
+        print("```\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-2pc",
+        description="Regenerate the tables and figures of 'Two-Phase "
+                    "Commit Optimizations and Tradeoffs in the "
+                    "Commercial Environment' (ICDE 1993).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=[1, 2, 3, 4])
+    table.add_argument("--n", type=int, default=11,
+                       help="tree size for table 3 (default 11)")
+    table.add_argument("--m", type=int, default=4,
+                       help="optimized members for table 3 (default 4)")
+    table.add_argument("--r", type=int, default=12,
+                       help="chained transactions for table 4 (default 12)")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=sorted(ALL_FIGURES))
+
+    sub.add_parser("compare", help="paper vs measured for every cell")
+
+    profile = sub.add_parser("profile", help="run a workload profile")
+    profile.add_argument("name")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="randomized fault-injected runs with online "
+                     "protocol verification")
+    fuzz.add_argument("--runs", type=int, default=25)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--max-nodes", type=int, default=6)
+
+    sub.add_parser("report", help="regenerate every table and figure "
+                                  "as one markdown report on stdout")
+
+    sub.add_parser("list-profiles", help="list workload profiles")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table":
+        if args.number == 1:
+            return _print_table1()
+        if args.number == 2:
+            return _print_table2()
+        if args.number == 3:
+            return _print_table3(args.n, args.m)
+        return _print_table4(args.r)
+    if args.command == "figure":
+        return _print_figure(args.number)
+    if args.command == "compare":
+        return _compare_all()
+    if args.command == "profile":
+        return _run_profile(args.name)
+    if args.command == "fuzz":
+        from repro.fuzz import fuzz as run_fuzz
+        report = run_fuzz(runs=args.runs, seed=args.seed,
+                          max_nodes=args.max_nodes)
+        print(report.describe())
+        return 0 if report.clean else 1
+    if args.command == "report":
+        return _full_report()
+    if args.command == "list-profiles":
+        for name in sorted(PROFILES):
+            profile = PROFILES[name]()
+            print(f"{name}: {profile.description}")
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The transaction managers and the 2PC protocol engine.
+
+This package implements the paper's subject matter: the baseline 2PC,
+Presumed Abort, Presumed Nothing (and, as an extension, Presumed
+Commit), plus every optimization of Section 4 — read-only voting,
+leaving inactive partners out, last agent, unsolicited vote, shared
+log, group commit, long locks, early/late acknowledgment, vote
+reliable and wait-for-outcome — together with crash recovery and
+heuristic decisions.
+"""
+
+from repro.core.config import (
+    BASIC_2PC,
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+    Presumption,
+    ProtocolConfig,
+)
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.core.states import Role, TxnState
+from repro.core.handle import TransactionHandle
+from repro.core.node import TMNode
+from repro.core.cluster import Cluster
+
+__all__ = [
+    "BASIC_2PC",
+    "Cluster",
+    "ParticipantSpec",
+    "PRESUMED_ABORT",
+    "PRESUMED_COMMIT",
+    "PRESUMED_NOTHING",
+    "Presumption",
+    "ProtocolConfig",
+    "Role",
+    "TMNode",
+    "TransactionHandle",
+    "TransactionSpec",
+    "TxnState",
+]

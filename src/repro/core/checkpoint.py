@@ -1,0 +1,107 @@
+"""Fuzzy checkpointing: bounding the restart-recovery scan.
+
+Every commercial system the paper discusses (CICS, IMS, DB2, R*)
+checkpoints its log so restart does not re-read history from the
+beginning.  A checkpoint here captures, in one forced record:
+
+* a snapshot of every local store (which, because updates are applied
+  in place under locks, includes the in-flight transactions' dirty
+  values);
+* the protocol-record history of every transaction that is not yet
+  fully resolved (so classification can proceed without the older log);
+* full records — including undo images — for transactions that have
+  not reached a local outcome yet.  Their locks were held at
+  checkpoint time, so no later writer can have touched their keys and
+  replaying their undo images at restart is safe.
+
+Restart recovery then reads only the checkpoint payload plus the log
+suffix after it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, TYPE_CHECKING
+
+from repro.log.records import LogRecord, LogRecordType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import TMNode
+
+#: Record types that mark a transaction as locally resolved: its data
+#: effects are final (and therefore inside the store snapshot).
+_RESOLVED_TYPES = frozenset({
+    LogRecordType.COMMITTED,
+    LogRecordType.ABORTED,
+    LogRecordType.HEURISTIC_COMMIT,
+    LogRecordType.HEURISTIC_ABORT,
+})
+
+#: The pseudo transaction id checkpoints are logged under.
+CHECKPOINT_TXN = "__checkpoint__"
+
+
+def serialize_record(record: LogRecord) -> Dict[str, Any]:
+    return {
+        "lsn": record.lsn,
+        "txn_id": record.txn_id,
+        "record_type": record.record_type.value,
+        "node": record.node,
+        "forced": record.forced,
+        "written_at": record.written_at,
+        "payload": dict(record.payload),
+    }
+
+
+def deserialize_record(data: Dict[str, Any]) -> LogRecord:
+    return LogRecord(
+        lsn=data["lsn"],
+        txn_id=data["txn_id"],
+        record_type=LogRecordType(data["record_type"]),
+        node=data["node"],
+        forced=data["forced"],
+        written_at=data["written_at"],
+        payload=dict(data["payload"]),
+    )
+
+
+def build_checkpoint_payload(node: "TMNode") -> Dict[str, Any]:
+    """Summarise log state for a checkpoint record.
+
+    Works from all records written so far — including the volatile
+    buffer — because the checkpoint record itself is forced: if the
+    checkpoint survives a crash, everything written before it survived
+    with it (the force flushes the buffer).
+    """
+    history = node.log.all_records()
+    by_txn: Dict[str, List[LogRecord]] = {}
+    for record in history:
+        if record.record_type is LogRecordType.CHECKPOINT:
+            continue
+        by_txn.setdefault(record.txn_id, []).append(record)
+
+    carried: List[Dict[str, Any]] = []
+    for txn_id, records in by_txn.items():
+        types = {r.record_type for r in records}
+        if LogRecordType.END in types:
+            continue  # fully resolved and forgotten
+        locally_resolved = bool(types & _RESOLVED_TYPES)
+        for record in records:
+            if locally_resolved and \
+                    record.record_type is LogRecordType.LRM_UPDATE:
+                # The outcome is applied and inside the snapshot; the
+                # undo/redo images are no longer needed (and replaying
+                # them could clobber later writers).
+                continue
+            carried.append(serialize_record(record))
+
+    stores = {}
+    for rm in node.all_rms():
+        stores[rm.name] = dict(rm.store.snapshot())
+    return {"stores": stores, "carried": carried}
+
+
+def take_checkpoint(node: "TMNode") -> LogRecord:
+    """Write (and force) a checkpoint record on a live node."""
+    payload = build_checkpoint_payload(node)
+    return node.log.write(CHECKPOINT_TXN, LogRecordType.CHECKPOINT,
+                          payload=payload, force=True)

@@ -1,0 +1,98 @@
+"""The application's view of a commit operation.
+
+The handle models what LU 6.2 returns to the program that issued the
+commit verb: the outcome, whether the outcome of the *entire* tree is
+known yet (wait-for-outcome), and whether heuristic damage was
+reported (PN's reliable reporting)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass
+class HeuristicReport:
+    """Damage information carried upstream on acknowledgments."""
+
+    node: str
+    txn_id: str
+    decision: str
+    outcome: str
+
+    @property
+    def damaged(self) -> bool:
+        return self.decision != self.outcome
+
+
+class TransactionHandle:
+    """Completion state of one commit operation at its root."""
+
+    def __init__(self, txn_id: str, started_at: float) -> None:
+        self.txn_id = txn_id
+        self.started_at = started_at
+        self.outcome: Optional[str] = None       # "commit" | "abort"
+        self.done = False
+        self.completed_at: Optional[float] = None
+        #: True when the commit operation returned before all recovery
+        #: completed (wait-for-outcome's "outcome pending" indication).
+        self.outcome_pending = False
+        #: Set when background recovery finally resolves everything.
+        self.recovery_completed_at: Optional[float] = None
+        #: Heuristic damage reports that reached this root.
+        self.heuristic_reports: List[HeuristicReport] = []
+        self._callbacks: List[Callable[["TransactionHandle"], None]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def committed(self) -> bool:
+        return self.outcome == "commit"
+
+    @property
+    def aborted(self) -> bool:
+        return self.outcome == "abort"
+
+    @property
+    def heuristic_mixed(self) -> bool:
+        """True when some participant's heuristic decision disagreed
+        with the transaction outcome — the damage PN reports reliably."""
+        return any(r.damaged for r in self.heuristic_reports)
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    # ------------------------------------------------------------------
+    def on_done(self, callback: Callable[["TransactionHandle"], None]) -> None:
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def complete(self, outcome: str, at_time: float,
+                 outcome_pending: bool = False) -> None:
+        if self.done:
+            return
+        self.outcome = outcome
+        self.done = True
+        self.completed_at = at_time
+        self.outcome_pending = outcome_pending
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def recovery_done(self, at_time: float) -> None:
+        self.outcome_pending = False
+        self.recovery_completed_at = at_time
+
+    def __repr__(self) -> str:
+        status = self.outcome if self.done else "pending"
+        extras = []
+        if self.outcome_pending:
+            extras.append("outcome-pending")
+        if self.heuristic_mixed:
+            extras.append("heuristic-mixed")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return f"<TransactionHandle {self.txn_id}: {status}{suffix}>"

@@ -1,0 +1,158 @@
+"""Heuristic decisions and damage reporting.
+
+An in-doubt participant (state PREPARED) holding valuable locks may,
+after a configurable timeout, unilaterally commit or abort rather than
+wait for recovery (paper §1, §3).  The decision is force-logged so it
+survives; when the true outcome eventually arrives, a mismatch is
+*heuristic damage*.  PN propagates damage reports to the root of the
+commit tree; PA-style protocols report only to the immediate
+coordinator (and the local operator), so the root may believe a
+damaged transaction committed cleanly — the tradeoff the paper calls
+out and our tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import HeuristicChoice
+from repro.core.context import CommitContext
+from repro.core.handle import HeuristicReport
+from repro.core.states import TxnState
+from repro.log.records import LogRecordType
+from repro.metrics.collector import HeuristicEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import TMNode
+
+
+class HeuristicMixin:
+    """Heuristic behaviour of :class:`~repro.core.node.TMNode`."""
+
+    def start_heuristic_timer(self: "TMNode",
+                              context: CommitContext) -> None:
+        """Arm the in-doubt timers (no-op unless configured).
+
+        Two independent escapes from the blocking window: the heuristic
+        decision (unilateral, damaging) and — for subordinate-driven
+        recovery protocols — an inquiry to the coordinator.
+        """
+        if self.config.heuristic_timeout is not None:
+            context.heuristic_timer = self.simulator.timer(
+                self.config.heuristic_timeout,
+                lambda: self._heuristic_fire(context),
+                name=f"heuristic:{context.txn_id}@{self.name}")
+        if self.config.inquiry_timeout is not None \
+                and not self.config.coordinator_driven_recovery \
+                and context.parent is not None:
+            context.retry_timer = self.simulator.timer(
+                self.config.inquiry_timeout,
+                lambda: self._inquiry_timeout(context),
+                name=f"in-doubt-inquiry:{context.txn_id}@{self.name}")
+
+    def _inquiry_timeout(self: "TMNode", context: CommitContext) -> None:
+        if not self.context_live(context) or \
+                context.state is not TxnState.PREPARED:
+            return
+        self.note(context.txn_id, "in doubt too long; inquiring")
+        self._start_inquiry(context)
+
+    def _heuristic_fire(self: "TMNode", context: CommitContext) -> None:
+        decision = ("commit"
+                    if self.config.heuristic_choice is HeuristicChoice.COMMIT
+                    else "abort")
+        self.heuristic_decide(context, decision)
+
+    def heuristic_decide(self: "TMNode", context: CommitContext,
+                         decision: str) -> bool:
+        """Unilaterally commit or abort an in-doubt transaction.
+
+        Called by the in-doubt timer with the configured choice, or by
+        an operator (the paper's manual escape hatch).  Returns False
+        when the transaction is not in the in-doubt window.
+        """
+        if not self.context_live(context) or \
+                context.state is not TxnState.PREPARED:
+            return False
+        if decision not in ("commit", "abort"):
+            raise ValueError(f"heuristic decision must be commit or "
+                             f"abort, got {decision!r}")
+        context.heuristic_decision = decision
+        record_type = (LogRecordType.HEURISTIC_COMMIT if decision == "commit"
+                       else LogRecordType.HEURISTIC_ABORT)
+        self.note(context.txn_id, f"heuristically decides {decision}")
+
+        def applied() -> None:
+            if decision == "commit":
+                self._commit_locals(context)
+            else:
+                self._heuristic_abort_locals(context)
+            context.state = (TxnState.HEURISTIC_COMMITTED
+                             if decision == "commit"
+                             else TxnState.HEURISTIC_ABORTED)
+            event = HeuristicEvent(node=self.name, txn_id=context.txn_id,
+                                   decision=decision,
+                                   at_time=self.simulator.now)
+            context.heuristic_event = event
+            self.metrics.record_heuristic(event)
+            # The decider still needs the true outcome to detect and
+            # report damage.  Under PN the coordinator drives recovery
+            # to us; otherwise we inquire.
+            if not self.config.coordinator_driven_recovery \
+                    and context.parent is not None:
+                self._start_inquiry(context)
+
+        self.log_tm(context, record_type,
+                    payload={"coordinator": context.parent},
+                    force=True, on_durable=applied)
+        return True
+
+    def _heuristic_abort_locals(self: "TMNode",
+                                context: CommitContext) -> None:
+        if context.rebuilt_from_log:
+            self.undo_from_log(context.txn_id)
+            for rm in self.all_rms():
+                rm.resolve_in_doubt(context.txn_id, commit=False)
+            return
+        self._abort_locals(context)
+
+    # ------------------------------------------------------------------
+    # Resolution: the real outcome reaches a heuristic decider
+    # ------------------------------------------------------------------
+    def resolve_heuristic(self: "TMNode", context: CommitContext,
+                          outcome: str, via_recovery: bool) -> None:
+        """Compare the heuristic decision with the tree's outcome and
+        report upstream.  Data effects are NOT reversed: a heuristic
+        decision is irreversible — that is what makes it damage."""
+        decision = context.heuristic_decision or "commit"
+        damaged = decision != outcome
+        if context.heuristic_event is not None:
+            context.heuristic_event.damaged = damaged
+        report = HeuristicReport(node=self.name, txn_id=context.txn_id,
+                                 decision=decision, outcome=outcome)
+        context.reports.append(report)
+        context.outcome = outcome
+        context.ack_via_recovery = via_recovery
+        context.state = (TxnState.COMMITTING if outcome == "commit"
+                         else TxnState.ABORTING)
+        self.note(context.txn_id,
+                  f"heuristic {decision} vs outcome {outcome}"
+                  f"{' — DAMAGE' if damaged else ''}")
+        # Record what the tree decided (non-forced; the heuristic
+        # record is already stable and recovery compares the two).
+        record_type = (LogRecordType.COMMITTED if outcome == "commit"
+                       else LogRecordType.ABORTED)
+        self.log_tm(context, record_type,
+                    payload={"after_heuristic": True})
+        # Children below us are still in doubt and need the outcome.
+        from repro.net.message import MessageType
+        targets = context.yes_children()
+        for child in targets:
+            self.send(MessageType.COMMIT if outcome == "commit"
+                      else MessageType.ABORT, child, context.txn_id)
+        needs_acks = (self.config.commit_needs_acks if outcome == "commit"
+                      else self.config.abort_needs_acks)
+        if needs_acks:
+            context.acks_pending = set(targets)
+        self._arm_ack_timer(context)
+        self._maybe_finish(context)

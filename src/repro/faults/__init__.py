@@ -1,0 +1,23 @@
+"""Fault injection.
+
+Declarative failure schedules (crashes, restarts, partitions, message
+loss) applied to a cluster — the machinery behind the failure-case
+experiments: heuristic-damage studies, wait-for-outcome ablations and
+the recovery test matrix.
+"""
+
+from repro.faults.injector import (
+    CrashPlan,
+    FaultPlan,
+    FaultInjector,
+    MessageLossPlan,
+    PartitionPlan,
+)
+
+__all__ = [
+    "CrashPlan",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageLossPlan",
+    "PartitionPlan",
+]

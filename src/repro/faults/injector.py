@@ -1,0 +1,133 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` lists failures with their injection times; the
+:class:`FaultInjector` arms them on a cluster.  Message loss is
+probabilistic (seeded through the simulator's fault stream, so runs
+stay reproducible) and can be scoped by message type or link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.cluster import Cluster
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Crash ``node`` at ``at``; restart at ``restart_at`` (optional)."""
+
+    node: str
+    at: float
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ValueError(
+                f"restart_at {self.restart_at} must follow crash at "
+                f"{self.at}")
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Cut the (a, b) link at ``at``; heal at ``heal_at`` (optional)."""
+
+    a: str
+    b: str
+    at: float
+    heal_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ValueError(
+                f"heal_at {self.heal_at} must follow partition at "
+                f"{self.at}")
+
+
+@dataclass(frozen=True)
+class MessageLossPlan:
+    """Drop each matching message with ``probability``.
+
+    Scope with ``msg_types`` (message-type values) and/or ``links``
+    ((src, dst) pairs); empty means unrestricted.
+    """
+
+    probability: float
+    msg_types: Tuple[str, ...] = ()
+    links: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability out of range: {self.probability}")
+
+    def matches(self, message: Message) -> bool:
+        if self.msg_types and message.msg_type.value not in self.msg_types:
+            return False
+        if self.links and (message.src, message.dst) not in self.links:
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """A complete failure schedule for one run."""
+
+    crashes: List[CrashPlan] = field(default_factory=list)
+    partitions: List[PartitionPlan] = field(default_factory=list)
+    message_loss: Optional[MessageLossPlan] = None
+
+    def crash(self, node: str, at: float,
+              restart_at: Optional[float] = None) -> "FaultPlan":
+        self.crashes.append(CrashPlan(node, at, restart_at))
+        return self
+
+    def partition(self, a: str, b: str, at: float,
+                  heal_at: Optional[float] = None) -> "FaultPlan":
+        self.partitions.append(PartitionPlan(a, b, at, heal_at))
+        return self
+
+    def lose_messages(self, probability: float,
+                      msg_types: Tuple[str, ...] = (),
+                      links: Tuple[Tuple[str, str], ...] = ()
+                      ) -> "FaultPlan":
+        self.message_loss = MessageLossPlan(probability, msg_types, links)
+        return self
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` on a cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._rng = cluster.simulator.stream("faults")
+        self.injected_drops = 0
+
+    def apply(self, plan: FaultPlan) -> None:
+        for crash in plan.crashes:
+            self.cluster.crash_at(crash.node, crash.at)
+            if crash.restart_at is not None:
+                self.cluster.restart_at(crash.node, crash.restart_at)
+        for partition in plan.partitions:
+            self.cluster.partition_at(partition.a, partition.b,
+                                      partition.at)
+            if partition.heal_at is not None:
+                self.cluster.heal_at(partition.a, partition.b,
+                                     partition.heal_at)
+        if plan.message_loss is not None:
+            loss = plan.message_loss
+
+            def drop(message: Message) -> bool:
+                if not loss.matches(message):
+                    return False
+                if self._rng.chance(loss.probability):
+                    self.injected_drops += 1
+                    return True
+                return False
+
+            self.cluster.network.set_drop_filter(drop)
+
+    def clear_message_loss(self) -> None:
+        self.cluster.network.set_drop_filter(None)

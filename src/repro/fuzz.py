@@ -1,0 +1,127 @@
+"""Randomized protocol fuzzing with online verification.
+
+Drives batches of randomized runs — random commit trees, random
+veto/read-only placement, random crash or partition schedules, and
+jittered (FIFO) links — with the :class:`~repro.verify.ProtocolChecker`
+attached, and reports any safety violation.  Exposed as
+``repro-2pc fuzz``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    BASIC_2PC,
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+)
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import read_op, write_op
+from repro.net.latency import UniformLatency
+from repro.sim.randomness import RandomStream
+from repro.verify import ProtocolChecker, Violation
+
+CONFIGS = [BASIC_2PC, PRESUMED_ABORT, PRESUMED_NOTHING, PRESUMED_COMMIT]
+
+
+@dataclass
+class FuzzReport:
+    runs: int = 0
+    committed: int = 0
+    aborted: int = 0
+    unresolved: int = 0
+    crashes_injected: int = 0
+    partitions_injected: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.runs} randomized runs "
+            f"({self.committed} committed, {self.aborted} aborted, "
+            f"{self.unresolved} unresolved — an unresolved run means "
+            f"the application lost its coordinator before commit "
+            f"processing began)",
+            f"faults injected: {self.crashes_injected} crashes, "
+            f"{self.partitions_injected} partitions",
+        ]
+        if self.violations:
+            lines.append(f"{len(self.violations)} VIOLATIONS:")
+            lines.extend(f"  {v}" for v in self.violations)
+        else:
+            lines.append("no protocol violations")
+        return "\n".join(lines)
+
+
+def _random_spec(rng: RandomStream, max_nodes: int) -> TransactionSpec:
+    n = rng.randint(1, max_nodes)
+    names = [f"n{i}" for i in range(n)]
+    participants = [ParticipantSpec(node="n0")]
+    for index in range(1, n):
+        parent = names[rng.randint(0, index - 1)]
+        participants.append(ParticipantSpec(node=names[index],
+                                            parent=parent))
+    for participant in participants:
+        kind = rng.choice(["update", "update", "read", "none"])
+        if kind == "update":
+            participant.ops.append(
+                write_op(f"k-{participant.node}", rng.randint(0, 99)))
+        elif kind == "read":
+            participant.ops.append(read_op("shared"))
+        if rng.chance(0.08):
+            participant.veto = True
+    return TransactionSpec(participants=participants)
+
+
+def fuzz(runs: int = 25, seed: int = 0, max_nodes: int = 6,
+         fault_rate: float = 0.6) -> FuzzReport:
+    """Run ``runs`` randomized, fault-injected, verified simulations."""
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    rng = RandomStream(seed)
+    report = FuzzReport()
+    for index in range(runs):
+        report.runs += 1
+        spec = _random_spec(rng, max_nodes)
+        config = rng.choice(CONFIGS).with_options(
+            ack_timeout=15.0, retry_interval=15.0, vote_timeout=25.0,
+            inquiry_timeout=25.0, work_timeout=40.0)
+        nodes = [p.node for p in spec.participants]
+        cluster = Cluster(config, nodes=nodes, seed=seed * 1000 + index,
+                          latency=UniformLatency(0.5, 2.0))
+        checker = ProtocolChecker().attach(cluster)
+
+        if len(nodes) > 1 and rng.chance(fault_rate):
+            if rng.chance(0.5):
+                victim = rng.choice(nodes)
+                at = rng.uniform(0.5, 15.0)
+                cluster.crash_at(victim, at)
+                cluster.restart_at(victim, at + rng.uniform(10.0, 40.0))
+                report.crashes_injected += 1
+            else:
+                edges = [(p.parent, p.node) for p in spec.participants
+                         if p.parent is not None]
+                a, b = rng.choice(edges)
+                at = rng.uniform(0.5, 15.0)
+                cluster.partition_at(a, b, at)
+                cluster.heal_at(a, b, at + rng.uniform(10.0, 60.0))
+                report.partitions_injected += 1
+
+        handle = cluster.start_transaction(spec)
+        cluster.run_until(600.0, max_events=500_000)
+        checker.check_atomicity(spec.txn_id)
+        report.violations.extend(checker.violations)
+        if not handle.done:
+            report.unresolved += 1
+        elif handle.committed:
+            report.committed += 1
+        else:
+            report.aborted += 1
+    return report

@@ -1,0 +1,21 @@
+"""Simulated write-ahead log.
+
+Models exactly the distinction the paper's analysis counts: *forced*
+log writes suspend commit processing until the record is in stable
+storage (one simulated I/O, optionally batched by group commit), while
+*non-forced* writes sit in a volatile buffer and are lost if the node
+crashes before a later force flushes them.
+"""
+
+from repro.log.records import LogRecord, LogRecordType
+from repro.log.storage import StableStorage
+from repro.log.group_commit import GroupCommitPolicy
+from repro.log.manager import LogManager
+
+__all__ = [
+    "GroupCommitPolicy",
+    "LogManager",
+    "LogRecord",
+    "LogRecordType",
+    "StableStorage",
+]

@@ -1,0 +1,48 @@
+"""Stable storage: the part of the log that survives crashes."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.log.records import LogRecord, LogRecordType
+
+
+class StableStorage:
+    """An append-only record store that survives simulated crashes."""
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+
+    def append(self, records: Iterable[LogRecord]) -> None:
+        for record in records:
+            if self._records and record.lsn <= self._records[-1].lsn:
+                raise ValueError(
+                    f"out-of-order append: lsn {record.lsn} after "
+                    f"{self._records[-1].lsn}")
+            self._records.append(record)
+
+    def records(self) -> List[LogRecord]:
+        return list(self._records)
+
+    def records_for(self, txn_id: str) -> List[LogRecord]:
+        return [r for r in self._records if r.txn_id == txn_id]
+
+    def last_record_for(self, txn_id: str,
+                        record_type: Optional[LogRecordType] = None
+                        ) -> Optional[LogRecord]:
+        for record in reversed(self._records):
+            if record.txn_id != txn_id:
+                continue
+            if record_type is None or record.record_type == record_type:
+                return record
+        return None
+
+    def has_record(self, txn_id: str, record_type: LogRecordType) -> bool:
+        return self.last_record_for(txn_id, record_type) is not None
+
+    @property
+    def durable_lsn(self) -> int:
+        return self._records[-1].lsn if self._records else 0
+
+    def __len__(self) -> int:
+        return len(self._records)

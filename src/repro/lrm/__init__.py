@@ -1,0 +1,25 @@
+"""Local resource managers (LRMs).
+
+The paper's LRMs are "database and file managers, which have
+responsibility for the state of their resources only".  We provide a
+versioned key-value store guarded by a strict two-phase lock manager,
+writing undo information to a write-ahead log, and participating in
+2PC as a local subordinate of its node's transaction manager.
+"""
+
+from repro.lrm.locks import LockManager, LockMode, LockRequest
+from repro.lrm.kv import KVStore
+from repro.lrm.operations import Operation, read_op, write_op
+from repro.lrm.resource_manager import ResourceManager, Vote
+
+__all__ = [
+    "KVStore",
+    "LockManager",
+    "LockMode",
+    "LockRequest",
+    "Operation",
+    "ResourceManager",
+    "Vote",
+    "read_op",
+    "write_op",
+]

@@ -1,0 +1,240 @@
+"""Strict two-phase locking with deadlock detection.
+
+Locks are shared (S) or exclusive (X), with S->X upgrade.  Waiters
+queue FIFO; a waits-for graph is checked on every enqueue, and the
+*requester* is the deadlock victim — deterministic and simple, which
+matters because the serializability hazard of the read-only
+optimization (paper §4) is demonstrated by observing exactly when
+locks are released relative to other participants' work.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import DeadlockError, LockError
+from repro.metrics.collector import MetricsCollector
+from repro.sim.kernel import Simulator
+
+
+class LockMode(Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+@dataclass
+class LockRequest:
+    """A pending or granted lock request."""
+
+    txn_id: str
+    key: str
+    mode: LockMode
+    on_granted: Callable[[], None] = field(compare=False)
+    granted: bool = False
+
+
+class _KeyLock:
+    """Lock state for a single key: granted set + FIFO wait queue."""
+
+    def __init__(self) -> None:
+        self.granted: List[LockRequest] = []
+        self.waiting: List[LockRequest] = []
+
+    def holders(self) -> Set[str]:
+        return {r.txn_id for r in self.granted}
+
+    def grant_allowed(self, request: LockRequest) -> bool:
+        for holder in self.granted:
+            if holder.txn_id == request.txn_id:
+                continue  # own lock never conflicts (upgrade handled separately)
+            if not holder.mode.compatible_with(request.mode):
+                return False
+        return True
+
+
+class LockManager:
+    """Per-node lock table with waits-for-graph deadlock detection."""
+
+    def __init__(self, simulator: Simulator,
+                 metrics: Optional[MetricsCollector] = None,
+                 name: str = "locks") -> None:
+        self.simulator = simulator
+        self.metrics = metrics
+        self.name = name
+        self._table: Dict[str, _KeyLock] = defaultdict(_KeyLock)
+        self._held_by_txn: Dict[str, Set[str]] = defaultdict(set)
+        self._first_acquire_at: Dict[str, float] = {}
+        self.deadlocks_detected = 0
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def acquire(self, txn_id: str, key: str, mode: LockMode,
+                on_granted: Callable[[], None]) -> None:
+        """Request a lock; ``on_granted`` fires when it is held.
+
+        Raises :class:`DeadlockError` synchronously if waiting would
+        close a cycle in the waits-for graph.
+        """
+        lock = self._table[key]
+        held_mode = self._mode_held(txn_id, key)
+
+        if held_mode is mode or held_mode is LockMode.EXCLUSIVE:
+            # Re-entrant or already stronger.
+            self.simulator.call_soon(on_granted, name=f"lock-held:{key}")
+            return
+
+        request = LockRequest(txn_id=txn_id, key=key, mode=mode,
+                              on_granted=on_granted)
+
+        if held_mode is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            self._upgrade(lock, request)
+            return
+
+        if not lock.waiting and lock.grant_allowed(request):
+            self._grant(lock, request)
+            return
+
+        self._enqueue(lock, request)
+
+    def _upgrade(self, lock: _KeyLock, request: LockRequest) -> None:
+        other_holders = {r.txn_id for r in lock.granted
+                         if r.txn_id != request.txn_id}
+        if not other_holders:
+            # Sole holder: strengthen in place.
+            for held in lock.granted:
+                if held.txn_id == request.txn_id:
+                    held.mode = LockMode.EXCLUSIVE
+            self.simulator.call_soon(request.on_granted,
+                                     name=f"lock-upgrade:{request.key}")
+            return
+        self._enqueue(lock, request)
+
+    def _enqueue(self, lock: _KeyLock, request: LockRequest) -> None:
+        cycle = self._would_deadlock(request, lock)
+        if cycle is not None:
+            self.deadlocks_detected += 1
+            raise DeadlockError(request.txn_id, cycle)
+        lock.waiting.append(request)
+
+    def _grant(self, lock: _KeyLock, request: LockRequest) -> None:
+        request.granted = True
+        lock.granted.append(request)
+        self._held_by_txn[request.txn_id].add(request.key)
+        self._first_acquire_at.setdefault(request.txn_id, self.simulator.now)
+        self.simulator.call_soon(request.on_granted,
+                                 name=f"lock-grant:{request.key}")
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+    def release_all(self, txn_id: str) -> None:
+        """Strict 2PL release: drop every lock the transaction holds."""
+        keys = list(self._held_by_txn.pop(txn_id, set()))
+        acquired_at = self._first_acquire_at.pop(txn_id, None)
+        if acquired_at is not None and self.metrics is not None:
+            self.metrics.record_lock_hold(self.simulator.now - acquired_at)
+        for key in keys:
+            lock = self._table[key]
+            lock.granted = [r for r in lock.granted if r.txn_id != txn_id]
+            self._wake_waiters(lock)
+        # A victim may also be parked in wait queues — clear those too.
+        for lock in self._table.values():
+            lock.waiting = [r for r in lock.waiting if r.txn_id != txn_id]
+
+    def _wake_waiters(self, lock: _KeyLock) -> None:
+        while lock.waiting:
+            head = lock.waiting[0]
+            held = self._mode_held(head.txn_id, head.key)
+            if held is LockMode.SHARED and head.mode is LockMode.EXCLUSIVE:
+                # Pending upgrade: grantable once it is the sole holder.
+                others = {r.txn_id for r in lock.granted
+                          if r.txn_id != head.txn_id}
+                if others:
+                    return
+                lock.waiting.pop(0)
+                for granted in lock.granted:
+                    if granted.txn_id == head.txn_id:
+                        granted.mode = LockMode.EXCLUSIVE
+                self.simulator.call_soon(head.on_granted,
+                                         name=f"lock-upgrade:{head.key}")
+                continue
+            if not lock.grant_allowed(head):
+                return
+            lock.waiting.pop(0)
+            self._grant(lock, head)
+
+    # ------------------------------------------------------------------
+    # Deadlock detection
+    # ------------------------------------------------------------------
+    def _would_deadlock(self, request: LockRequest,
+                        lock: _KeyLock) -> Optional[List[str]]:
+        """Return the cycle (as txn ids) the new wait would close, if any."""
+        blockers = {r.txn_id for r in lock.granted
+                    if r.txn_id != request.txn_id}
+        blockers |= {r.txn_id for r in lock.waiting
+                     if r.txn_id != request.txn_id}
+        graph = self._waits_for_graph()
+        graph[request.txn_id] = blockers
+
+        # DFS from the requester looking for a path back to it.
+        path: List[str] = []
+        visited: Set[str] = set()
+
+        def dfs(txn: str) -> Optional[List[str]]:
+            if txn in path:
+                return path[path.index(txn):] + [txn]
+            if txn in visited:
+                return None
+            visited.add(txn)
+            path.append(txn)
+            for blocker in sorted(graph.get(txn, ())):
+                found = dfs(blocker)
+                if found is not None:
+                    return found
+            path.pop()
+            return None
+
+        cycle = dfs(request.txn_id)
+        return cycle
+
+    def _waits_for_graph(self) -> Dict[str, Set[str]]:
+        graph: Dict[str, Set[str]] = defaultdict(set)
+        for key, lock in self._table.items():
+            holders = lock.holders()
+            for waiter in lock.waiting:
+                graph[waiter.txn_id] |= holders - {waiter.txn_id}
+        return graph
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _mode_held(self, txn_id: str, key: str) -> Optional[LockMode]:
+        for request in self._table[key].granted:
+            if request.txn_id == txn_id:
+                return request.mode
+        return None
+
+    def holds(self, txn_id: str, key: str,
+              mode: Optional[LockMode] = None) -> bool:
+        held = self._mode_held(txn_id, key)
+        if held is None:
+            return False
+        return mode is None or held is mode
+
+    def held_keys(self, txn_id: str) -> Set[str]:
+        return set(self._held_by_txn.get(txn_id, set()))
+
+    def waiting_count(self, key: str) -> int:
+        return len(self._table[key].waiting)
+
+    def assert_released(self, txn_id: str) -> None:
+        if self._held_by_txn.get(txn_id):
+            raise LockError(
+                f"txn {txn_id} still holds {self._held_by_txn[txn_id]}")

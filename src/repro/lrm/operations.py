@@ -1,0 +1,35 @@
+"""Operations a transaction performs against a resource manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional
+
+
+class OpKind(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One read or write against one key of one resource manager."""
+
+    kind: OpKind
+    key: str
+    value: Optional[Any] = None
+
+    @property
+    def is_update(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+
+def read_op(key: str) -> Operation:
+    """A shared-lock read of ``key``."""
+    return Operation(kind=OpKind.READ, key=key)
+
+
+def write_op(key: str, value: Any) -> Operation:
+    """An exclusive-lock write of ``value`` to ``key``."""
+    return Operation(kind=OpKind.WRITE, key=key, value=value)

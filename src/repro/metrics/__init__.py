@@ -1,0 +1,25 @@
+"""Measurement layer.
+
+The paper's evaluation is a set of counts: message flows, log writes,
+forced log writes, lock hold time.  Every substrate reports into a
+:class:`MetricsCollector`, and the benchmark harness reads the same
+quantities the paper's Tables 2-4 report.
+"""
+
+from repro.metrics.counters import TaggedCounter
+from repro.metrics.collector import (
+    CostSummary,
+    HeuristicEvent,
+    MetricsCollector,
+    MetricsSnapshot,
+    TransactionRecord,
+)
+
+__all__ = [
+    "CostSummary",
+    "HeuristicEvent",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "TaggedCounter",
+    "TransactionRecord",
+]

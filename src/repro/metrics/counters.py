@@ -1,0 +1,75 @@
+"""A small multi-dimensional counter."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Iterator, Tuple
+
+Key = Tuple[Hashable, ...]
+
+
+class TaggedCounter:
+    """Counts events keyed by a tuple of tags, queryable by partial key.
+
+    Example::
+
+        c = TaggedCounter()
+        c.add(("commit", "prepare", "coord"))
+        c.total(phase="commit")            # match on position 0
+    """
+
+    def __init__(self, dimensions: Tuple[str, ...]) -> None:
+        if not dimensions:
+            raise ValueError("a TaggedCounter needs at least one dimension")
+        self.dimensions = dimensions
+        self._counts: Dict[Key, int] = defaultdict(int)
+
+    def add(self, key: Key, count: int = 1) -> None:
+        if len(key) != len(self.dimensions):
+            raise ValueError(
+                f"key {key!r} does not match dimensions {self.dimensions!r}")
+        self._counts[key] += count
+
+    def total(self, **match: Hashable) -> int:
+        """Sum counts whose tags match every given dimension value."""
+        unknown = set(match) - set(self.dimensions)
+        if unknown:
+            raise ValueError(f"unknown dimensions: {sorted(unknown)}")
+        positions = {self.dimensions.index(name): value
+                     for name, value in match.items()}
+        result = 0
+        for key, count in self._counts.items():
+            if all(key[pos] == value for pos, value in positions.items()):
+                result += count
+        return result
+
+    def group_by(self, dimension: str, **match: Hashable) -> Dict[Hashable, int]:
+        """Totals split by one dimension, optionally filtered by others."""
+        if dimension not in self.dimensions:
+            raise ValueError(f"unknown dimension: {dimension}")
+        positions = {self.dimensions.index(name): value
+                     for name, value in match.items()}
+        axis = self.dimensions.index(dimension)
+        result: Dict[Hashable, int] = defaultdict(int)
+        for key, count in self._counts.items():
+            if all(key[pos] == value for pos, value in positions.items()):
+                result[key[axis]] += count
+        return dict(result)
+
+    def snapshot(self) -> Dict[Key, int]:
+        return dict(self._counts)
+
+    def diff(self, earlier: Dict[Key, int]) -> "TaggedCounter":
+        """Counter holding only increments since ``earlier``."""
+        delta = TaggedCounter(self.dimensions)
+        for key, count in self._counts.items():
+            change = count - earlier.get(key, 0)
+            if change:
+                delta._counts[key] = change
+        return delta
+
+    def __iter__(self) -> Iterator[Tuple[Key, int]]:
+        return iter(self._counts.items())
+
+    def __len__(self) -> int:
+        return len(self._counts)

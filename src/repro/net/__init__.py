@@ -1,0 +1,30 @@
+"""Simulated network substrate.
+
+The paper's LU 6.2 conversations are modelled as typed point-to-point
+messages over links with configurable latency.  The network counts
+every flow, tagged by protocol phase (data / commit / recovery), which
+is the quantity Tables 2-4 of the paper report.
+"""
+
+from repro.net.message import Message, MessageType, Phase
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    PerLinkLatency,
+    SatelliteLink,
+    UniformLatency,
+)
+from repro.net.network import Network, NetworkError
+
+__all__ = [
+    "ConstantLatency",
+    "LatencyModel",
+    "Message",
+    "MessageType",
+    "Network",
+    "NetworkError",
+    "PerLinkLatency",
+    "Phase",
+    "SatelliteLink",
+    "UniformLatency",
+]

@@ -1,0 +1,92 @@
+"""Link latency models.
+
+The paper's last-agent discussion hinges on heterogeneous links ("it is
+preferable to prepare the closest located partners ... and reduce the
+communication with the faraway partner to one slow round-trip"), so the
+network supports per-link latency, including a satellite-style link.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.sim.randomness import RandomStream
+
+
+class LatencyModel:
+    """Base class: maps a (src, dst) pair to a one-way delay."""
+
+    def latency(self, src: str, dst: str, rng: RandomStream) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every link has the same fixed one-way delay."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ValueError(f"latency must be non-negative, got {delay}")
+        self.delay = delay
+
+    def latency(self, src: str, dst: str, rng: RandomStream) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Uniform jitter in [low, high] on every link."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"bad latency range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def latency(self, src: str, dst: str, rng: RandomStream) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class PerLinkLatency(LatencyModel):
+    """Explicit per-link delays with a default for unlisted links.
+
+    Links are symmetric unless both directions are set explicitly.
+    """
+
+    def __init__(self, default: float = 1.0) -> None:
+        if default < 0:
+            raise ValueError(f"latency must be non-negative, got {default}")
+        self.default = default
+        self._links: Dict[Tuple[str, str], float] = {}
+
+    def set_link(self, a: str, b: str, delay: float,
+                 symmetric: bool = True) -> "PerLinkLatency":
+        if delay < 0:
+            raise ValueError(f"latency must be non-negative, got {delay}")
+        self._links[(a, b)] = delay
+        if symmetric:
+            self._links[(b, a)] = delay
+        return self
+
+    def link(self, a: str, b: str) -> Optional[float]:
+        return self._links.get((a, b))
+
+    def latency(self, src: str, dst: str, rng: RandomStream) -> float:
+        return self._links.get((src, dst), self.default)
+
+
+class SatelliteLink(PerLinkLatency):
+    """A convenience topology: one slow (satellite) node, all else fast.
+
+    Used by the last-agent benchmarks: the faraway partner should be the
+    last agent so only one slow round trip remains.
+    """
+
+    def __init__(self, satellite_node: str, slow_delay: float = 50.0,
+                 fast_delay: float = 1.0) -> None:
+        super().__init__(default=fast_delay)
+        self.satellite_node = satellite_node
+        self.slow_delay = slow_delay
+
+    def latency(self, src: str, dst: str, rng: RandomStream) -> float:
+        if self.satellite_node in (src, dst):
+            return self.slow_delay
+        return super().latency(src, dst, rng)

@@ -1,0 +1,143 @@
+"""The simulated network connecting transaction-manager nodes.
+
+Semantics chosen to match commercial WAN behaviour the paper assumes:
+
+* point-to-point delivery after a per-link latency;
+* a partitioned or crashed destination silently loses the message —
+  senders recover via the commit protocol's own timeouts/retries, which
+  is exactly the regime in which heuristic decisions arise;
+* every successful send is counted as one flow (the unit of Tables 2-4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.sim.kernel import Simulator
+
+
+class NetworkError(RuntimeError):
+    """Raised for misconfiguration (unknown node, duplicate registration)."""
+
+
+class Network:
+    """Routes messages between registered nodes on the simulator clock."""
+
+    def __init__(self, simulator: Simulator, metrics: MetricsCollector,
+                 latency: Optional[LatencyModel] = None,
+                 fifo: bool = True) -> None:
+        self.simulator = simulator
+        self.metrics = metrics
+        self.latency_model = latency or ConstantLatency(1.0)
+        #: LU 6.2 conversations are sessions: messages between a pair
+        #: of nodes never overtake each other.  With ``fifo`` (the
+        #: default) a jittered latency model cannot reorder a link.
+        self.fifo = fifo
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._alive: Dict[str, Callable[[], bool]] = {}
+        self._partitioned: Set[Tuple[str, str]] = set()
+        self._last_delivery: Dict[Tuple[str, str], float] = {}
+        self._drop_filter: Optional[Callable[[Message], bool]] = None
+        self._rng = simulator.stream("network")
+        self.delivered = 0
+        self.sent = 0
+        #: Trace hooks invoked with each message actually transmitted.
+        self.on_send: list = []
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def register(self, name: str, handler: Callable[[Message], None],
+                 alive: Optional[Callable[[], bool]] = None) -> None:
+        """Attach a node.  ``alive`` lets crashed nodes drop inbound traffic."""
+        if name in self._handlers:
+            raise NetworkError(f"node {name!r} already registered")
+        self._handlers[name] = handler
+        self._alive[name] = alive or (lambda: True)
+
+    def knows(self, name: str) -> bool:
+        return name in self._handlers
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between two nodes (both directions)."""
+        self._require(a)
+        self._require(b)
+        self._partitioned.add((a, b))
+        self._partitioned.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore the link between two nodes."""
+        self._partitioned.discard((a, b))
+        self._partitioned.discard((b, a))
+
+    def heal_all(self) -> None:
+        self._partitioned.clear()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return (a, b) in self._partitioned
+
+    def set_drop_filter(self,
+                        drop: Optional[Callable[[Message], bool]]) -> None:
+        """Install a predicate that drops matching messages (fault injection)."""
+        self._drop_filter = drop
+
+    def _require(self, name: str) -> None:
+        if name not in self._handlers:
+            raise NetworkError(f"unknown node {name!r}")
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> bool:
+        """Send a message; returns False if it was dropped at send time.
+
+        A send is counted as a flow whenever the sender actually puts it
+        on the wire (the paper counts flows the sender pays for, whether
+        or not a failure later loses them).  Messages dropped by the
+        injected drop-filter *before* transmission are not counted.
+        """
+        self._require(message.src)
+        self._require(message.dst)
+
+        if self._drop_filter is not None and self._drop_filter(message):
+            self.metrics.record_drop("injected", message.msg_type.value,
+                                     message.src)
+            return False
+
+        self.sent += 1
+        self.metrics.record_flow(message.phase.value, message.msg_type.value,
+                                 message.src, message.txn_id)
+        for hook in self.on_send:
+            hook(message)
+
+        if self.is_partitioned(message.src, message.dst):
+            self.metrics.record_drop("partition", message.msg_type.value,
+                                     message.src)
+            return False
+
+        delay = self.latency_model.latency(message.src, message.dst, self._rng)
+        arrival = self.simulator.now + delay
+        if self.fifo:
+            link = (message.src, message.dst)
+            arrival = max(arrival, self._last_delivery.get(link, 0.0))
+            self._last_delivery[link] = arrival
+        self.simulator.at(arrival, lambda: self._deliver(message),
+                          name=f"deliver:{message.describe()}")
+        return True
+
+    def _deliver(self, message: Message) -> None:
+        # Re-check the partition at delivery time: a partition that forms
+        # while the message is in flight loses it, matching real links.
+        if self.is_partitioned(message.src, message.dst):
+            self.metrics.record_drop("partition", message.msg_type.value,
+                                     message.src)
+            return
+        if not self._alive[message.dst]():
+            self.metrics.record_drop("crashed", message.msg_type.value,
+                                     message.src)
+            return
+        self.delivered += 1
+        self._handlers[message.dst](message)

@@ -1,0 +1,21 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in the reproduction runs on this kernel: network message
+delivery, log-device I/O completion, lock waits, heuristic timeouts and
+crash/restart schedules are all events on a single virtual clock.  Runs
+are fully deterministic for a given seed, which lets the test suite
+assert exact message/log counts against the paper's analytic tables.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import SimulationError, Simulator, Timer
+from repro.sim.randomness import RandomStream
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "RandomStream",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+]

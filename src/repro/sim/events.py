@@ -1,0 +1,105 @@
+"""Event objects and the priority queue that orders them.
+
+Events are ordered by ``(time, priority, seq)``.  The monotonically
+increasing sequence number makes ordering total and therefore
+deterministic: two events scheduled for the same instant fire in the
+order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single scheduled action on the virtual clock.
+
+    Attributes:
+        time: Virtual time at which the event fires.
+        priority: Tie-break rank for events at the same instant.  Lower
+            fires first.  Most callers leave this at 0.
+        seq: Scheduler-assigned sequence number; makes ordering total.
+        action: Zero-argument callable invoked when the event fires.
+        name: Human-readable label used in traces and error messages.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+
+class EventQueue:
+    """A binary-heap event queue with lazy cancellation.
+
+    Cancellation marks the event dead rather than re-heapifying; dead
+    events are skipped on pop.  This keeps both ``push`` and ``cancel``
+    O(log n) / O(1) while preserving deterministic ordering.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._cancelled: set = set()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, action: Callable[[], None], name: str = "",
+             priority: int = 0) -> Event:
+        """Schedule ``action`` at virtual ``time`` and return its Event."""
+        event = Event(time=time, priority=priority, seq=next(self._seq),
+                      action=action, name=name)
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event.  Returns False if already fired/cancelled."""
+        if event.seq in self._cancelled:
+            return False
+        self._cancelled.add(event.seq)
+        self._live -= 1
+        return True
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            __, event = heapq.heappop(self._heap)
+            if event.seq in self._cancelled:
+                self._cancelled.discard(event.seq)
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the earliest live event, or None if empty."""
+        while self._heap:
+            key, event = self._heap[0]
+            if event.seq in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard(event.seq)
+                continue
+            return key[0]
+        return None
+
+    def drain(self) -> Iterator[Event]:
+        """Pop every live event in order (used by tests)."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event

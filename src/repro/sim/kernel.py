@@ -1,0 +1,182 @@
+"""The simulator: a virtual clock driving an event queue.
+
+The kernel is intentionally tiny — protocol correctness lives in the
+layers above.  It offers:
+
+* ``schedule(delay, action)`` / ``at(time, action)`` — one-shot events;
+* ``Timer`` — cancellable timeout handle (heuristic timeouts, group
+  commit timers, retry timers);
+* ``run()`` / ``run_until(t)`` / ``step()`` — main loops with an
+  event-count safety valve so a protocol bug cannot spin forever;
+* trace hooks used by :mod:`repro.trace` to build sequence diagrams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.randomness import RandomStream, StreamFactory
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, runaway loops)."""
+
+
+class Timer:
+    """A cancellable handle for a scheduled timeout."""
+
+    def __init__(self, simulator: "Simulator", event: Event) -> None:
+        self._simulator = simulator
+        self._event = event
+        self._fired = False
+        self._cancelled = False
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def active(self) -> bool:
+        return not self._fired and not self._cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the timeout if it has not fired yet."""
+        if self._fired or self._cancelled:
+            return False
+        self._cancelled = self._simulator._queue.cancel(self._event)
+        return self._cancelled
+
+    def _mark_fired(self) -> None:
+        self._fired = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with named random streams."""
+
+    #: Safety valve: aborts run loops after this many events unless the
+    #: caller raises the limit explicitly.
+    DEFAULT_MAX_EVENTS = 5_000_000
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._streams = StreamFactory(seed)
+        self._event_hooks: List[Callable[[Event], None]] = []
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Random streams
+    # ------------------------------------------------------------------
+    def stream(self, name: str) -> RandomStream:
+        """Named random stream (stable across runs for a given root seed)."""
+        return self._streams.stream(name)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], None],
+                 name: str = "", priority: int = 0) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self.now + delay, action, name=name,
+                                priority=priority)
+
+    def at(self, time: float, action: Callable[[], None],
+           name: str = "", priority: int = 0) -> Event:
+        """Schedule ``action`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, clock already at {self.now}")
+        return self._queue.push(time, action, name=name, priority=priority)
+
+    def call_soon(self, action: Callable[[], None], name: str = "") -> Event:
+        """Schedule ``action`` at the current instant (after pending events)."""
+        return self._queue.push(self.now, action, name=name)
+
+    def timer(self, delay: float, action: Callable[[], None],
+              name: str = "timer") -> Timer:
+        """Schedule a cancellable timeout."""
+        holder: List[Timer] = []
+
+        def fire() -> None:
+            holder[0]._mark_fired()
+            action()
+
+        event = self.schedule(delay, fire, name=name)
+        timer = Timer(self, event)
+        holder.append(timer)
+        return timer
+
+    def cancel(self, event: Event) -> bool:
+        return self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def add_event_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a hook invoked before every event fires (tracing)."""
+        self._event_hooks.append(hook)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError(
+                f"event {event.name!r} is in the past "
+                f"({event.time} < {self.now})")
+        self.now = event.time
+        self.events_processed += 1
+        for hook in self._event_hooks:
+            hook(event)
+        event.action()
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains."""
+        limit = max_events if max_events is not None else self.DEFAULT_MAX_EVENTS
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= limit:
+                raise SimulationError(
+                    f"run() exceeded {limit} events — likely a protocol "
+                    f"livelock (clock at {self.now})")
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> None:
+        """Run events with fire time <= ``time``; clock ends at ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"run_until({time}) but clock already at {self.now}")
+        limit = max_events if max_events is not None else self.DEFAULT_MAX_EVENTS
+        fired = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            fired += 1
+            if fired >= limit:
+                raise SimulationError(
+                    f"run_until() exceeded {limit} events (clock at {self.now})")
+        self.now = max(self.now, time)
+
+    def run_while(self, condition: Callable[[], bool],
+                  max_events: Optional[int] = None) -> None:
+        """Run while ``condition()`` holds and events remain."""
+        limit = max_events if max_events is not None else self.DEFAULT_MAX_EVENTS
+        fired = 0
+        while condition():
+            if not self.step():
+                return
+            fired += 1
+            if fired >= limit:
+                raise SimulationError(
+                    f"run_while() exceeded {limit} events (clock at {self.now})")
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

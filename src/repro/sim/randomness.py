@@ -1,0 +1,71 @@
+"""Named, independently seeded random streams.
+
+Each subsystem (network jitter, workload generation, fault injection)
+draws from its own stream so that changing how one subsystem consumes
+randomness does not perturb the others.  Streams are derived from a
+single root seed, keeping whole runs reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RandomStream:
+    """A seeded random stream with the handful of draws the simulator needs."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self.seed = seed
+
+    def uniform(self, low: float, high: float) -> float:
+        if high < low:
+            raise ValueError(f"uniform bounds reversed: [{low}, {high}]")
+        return self._rng.uniform(low, high)
+
+    def expovariate(self, rate: float) -> float:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        return self._rng.expovariate(rate)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        return self._rng.random() < probability
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._rng.choice(items)
+
+    def sample(self, items: Sequence[T], count: int) -> list:
+        return self._rng.sample(items, count)
+
+    def shuffle(self, items: list) -> None:
+        self._rng.shuffle(items)
+
+
+class StreamFactory:
+    """Derives named :class:`RandomStream` instances from one root seed."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = root_seed
+        self._streams: Dict[str, RandomStream] = {}
+
+    def stream(self, name: str) -> RandomStream:
+        """Return the stream for ``name``, creating it deterministically."""
+        if name not in self._streams:
+            derived = zlib.crc32(name.encode("utf-8")) ^ (self.root_seed & 0xFFFFFFFF)
+            self._streams[name] = RandomStream(derived)
+        return self._streams[name]

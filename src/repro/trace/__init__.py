@@ -1,0 +1,12 @@
+"""Protocol tracing and sequence-diagram rendering.
+
+Figures 1-8 of the paper are message/log sequence charts.  The tracer
+records every network flow, log write and protocol note in virtual-time
+order; the diagram renderer lays them out in the paper's style (one
+column per node, ``*log`` marking forced writes).
+"""
+
+from repro.trace.recorder import TraceEvent, Tracer
+from repro.trace.diagram import render_sequence_diagram
+
+__all__ = ["TraceEvent", "Tracer", "render_sequence_diagram"]

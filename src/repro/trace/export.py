@@ -1,0 +1,64 @@
+"""Trace export/import: persist runs for offline diffing.
+
+Serialises traced events to JSON-lines text and back, so two runs (two
+seeds, two library versions, a run before and after a protocol change)
+can be diffed structurally.  `diff_traces` reports the first point of
+divergence — invaluable when a refactor moves one log write.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Iterable, List, Optional, Tuple
+
+from repro.trace.recorder import TraceEvent
+
+
+def export_events(events: Iterable[TraceEvent]) -> str:
+    """Serialise events to JSON-lines (one event per line)."""
+    return "\n".join(json.dumps(asdict(event), sort_keys=True)
+                     for event in events)
+
+
+def import_events(text: str) -> List[TraceEvent]:
+    """Parse JSON-lines back into trace events."""
+    events = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"line {lineno}: invalid JSON: {error}")
+        events.append(TraceEvent(**data))
+    return events
+
+
+def _comparable(event: TraceEvent) -> Tuple:
+    return (event.kind, event.node, event.dst, event.text, event.forced,
+            event.txn_id)
+
+
+def diff_traces(first: List[TraceEvent], second: List[TraceEvent],
+                compare_times: bool = False) -> Optional[str]:
+    """Return a description of the first divergence, or None if equal.
+
+    By default only the event *structure* (kind, endpoints, content) is
+    compared; with ``compare_times`` the virtual timestamps must match
+    too (exact replay checking).
+    """
+    for index, (a, b) in enumerate(zip(first, second)):
+        if _comparable(a) != _comparable(b):
+            return (f"event {index} differs:\n  first:  {a.describe()}\n"
+                    f"  second: {b.describe()}")
+        if compare_times and a.time != b.time:
+            return (f"event {index} shifted in time: "
+                    f"{a.time} vs {b.time} ({a.describe()})")
+    if len(first) != len(second):
+        longer = first if len(first) > len(second) else second
+        which = "first" if len(first) > len(second) else "second"
+        extra = longer[min(len(first), len(second))]
+        return (f"{which} trace has {abs(len(first) - len(second))} extra "
+                f"events, starting with: {extra.describe()}")
+    return None

@@ -1,0 +1,229 @@
+"""The paper's Figures 1-8 as executable scenarios.
+
+Each function runs the figure's protocol configuration on the
+simulator, captures the trace, and returns the rendered sequence chart
+plus the raw tracer (the tests assert on event ordering; the benchmark
+harness prints the charts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    BASIC_2PC,
+    PRESUMED_ABORT,
+    PRESUMED_NOTHING,
+)
+from repro.core.spec import ParticipantSpec, TransactionSpec, chain_tree, flat_tree
+from repro.lrm.operations import read_op, write_op
+from repro.trace.diagram import render_sequence_diagram
+from repro.trace.recorder import Tracer
+
+
+@dataclass
+class FigureResult:
+    number: int
+    title: str
+    diagram: str
+    tracer: Tracer
+    cluster: Cluster
+    txn_ids: List[str]
+    commentary: str = ""
+
+
+def _run(cluster: Cluster, spec: TransactionSpec, tracer: Tracer):
+    handle = cluster.run_transaction(spec)
+    return handle
+
+
+def figure1() -> FigureResult:
+    """Simple two-phase commit processing (coordinator + subordinate)."""
+    cluster = Cluster(BASIC_2PC, nodes=["coordinator", "subordinate"])
+    tracer = Tracer().attach(cluster)
+    spec = flat_tree("coordinator", ["subordinate"])
+    spec.participant("coordinator").ops.append(write_op("a", 1))
+    spec.participant("subordinate").ops.append(write_op("b", 2))
+    _run(cluster, spec, tracer)
+    diagram = render_sequence_diagram(
+        tracer.for_txn(spec.txn_id), ["coordinator", "subordinate"],
+        title="Figure 1. Simple Two-Phase Commit Processing",
+        include_notes=False)
+    return FigureResult(1, "Simple Two-Phase Commit Processing", diagram,
+                        tracer, cluster, [spec.txn_id])
+
+
+def figure2() -> FigureResult:
+    """Basic 2PC with a cascaded (intermediate) coordinator."""
+    nodes = ["coordinator", "cascaded", "subordinate"]
+    cluster = Cluster(BASIC_2PC, nodes=nodes)
+    tracer = Tracer().attach(cluster)
+    spec = chain_tree(nodes)
+    for participant in spec.participants:
+        participant.ops.append(write_op(f"k-{participant.node}", 1))
+    _run(cluster, spec, tracer)
+    diagram = render_sequence_diagram(
+        tracer.for_txn(spec.txn_id), nodes,
+        title="Figure 2. Two-Phase Commit with Cascaded Coordinator",
+        include_notes=False)
+    return FigureResult(2, "2PC with Cascaded Coordinator", diagram,
+                        tracer, cluster, [spec.txn_id])
+
+
+def figure3() -> FigureResult:
+    """Presumed Nothing with an intermediate coordinator: note the
+    commit-pending force before any prepare."""
+    nodes = ["coordinator", "cascaded", "subordinate"]
+    cluster = Cluster(PRESUMED_NOTHING, nodes=nodes)
+    tracer = Tracer().attach(cluster)
+    spec = chain_tree(nodes)
+    for participant in spec.participants:
+        participant.ops.append(write_op(f"k-{participant.node}", 1))
+    _run(cluster, spec, tracer)
+    diagram = render_sequence_diagram(
+        tracer.for_txn(spec.txn_id), nodes,
+        title="Figure 3. Presumed Nothing Commit Processing with "
+              "Intermediate Coordinator",
+        include_notes=False)
+    return FigureResult(3, "PN with Intermediate Coordinator", diagram,
+                        tracer, cluster, [spec.txn_id])
+
+
+def figure4() -> FigureResult:
+    """Partial read-only commit: one subordinate votes read-only and is
+    left out of phase two; the other commits normally."""
+    nodes = ["coordinator", "updater", "reader"]
+    cluster = Cluster(PRESUMED_ABORT, nodes=nodes)
+    tracer = Tracer().attach(cluster)
+    spec = flat_tree("coordinator", ["updater", "reader"])
+    spec.participant("updater").ops.append(write_op("x", 1))
+    spec.participant("reader").ops.append(read_op("x"))
+    _run(cluster, spec, tracer)
+    diagram = render_sequence_diagram(
+        tracer.for_txn(spec.txn_id), nodes,
+        title="Figure 4. Partial Read-Only Commit Processing",
+        include_notes=False)
+    return FigureResult(4, "Partial Read-Only Commit", diagram, tracer,
+                        cluster, [spec.txn_id])
+
+
+def figure5() -> FigureResult:
+    """The leave-out hazard: Pa is (incorrectly) left out by both Pb
+    and Pc, partitioning one logical transaction into two disjoint
+    commit trees that can reach different outcomes.
+    """
+    nodes = ["Pd", "Pb", "Pa", "Pc", "Pe"]
+    config = PRESUMED_ABORT.with_options(leave_out=True)
+    cluster = Cluster(config, nodes=nodes)
+    tracer = Tracer().attach(cluster)
+
+    # Establish sessions in which Pa promises OK-TO-LEAVE-OUT to both
+    # Pb and Pc — the application error: Pa is not a pure server.
+    warm1 = TransactionSpec(participants=[
+        ParticipantSpec(node="Pb", ops=[write_op("wb", 0)]),
+        ParticipantSpec(node="Pa", parent="Pb", ops=[write_op("shared", 0)],
+                        ok_to_leave_out=True)])
+    cluster.run_transaction(warm1)
+    warm2 = TransactionSpec(participants=[
+        ParticipantSpec(node="Pc", ops=[write_op("wc", 0)]),
+        ParticipantSpec(node="Pa", parent="Pc", ops=[write_op("shared", 0)],
+                        ok_to_leave_out=True)])
+    cluster.run_transaction(warm2)
+
+    # One logical unit of work now runs as two disjoint subtrees, both
+    # leaving Pa out.  Pd's side commits; Pe's side aborts.
+    left = TransactionSpec(participants=[
+        ParticipantSpec(node="Pd", ops=[write_op("d", 1)]),
+        ParticipantSpec(node="Pb", parent="Pd", ops=[write_op("b", 1)])])
+    right = TransactionSpec(participants=[
+        ParticipantSpec(node="Pe", ops=[write_op("e", 1)]),
+        ParticipantSpec(node="Pc", parent="Pe", ops=[write_op("c", 1)],
+                        veto=True)])
+    h_left = cluster.run_transaction(left)
+    h_right = cluster.run_transaction(right)
+    commentary = (
+        f"Left subtree (Pd,Pb) outcome: {h_left.outcome}; right subtree "
+        f"(Pe,Pc) outcome: {h_right.outcome}. One logical transaction "
+        f"reached two different outcomes because Pa was left out by both "
+        f"sides — exactly the damage Figure 5 warns about.")
+    diagram = render_sequence_diagram(
+        tracer.flows(left.txn_id) + tracer.flows(right.txn_id), nodes,
+        title="Figure 5. Transaction Tree Partitioned Because of "
+              "Left Out Partners", include_notes=False)
+    return FigureResult(5, "Partitioned Tree via Leave-Out", diagram,
+                        tracer, cluster, [left.txn_id, right.txn_id],
+                        commentary=commentary)
+
+
+def figure6() -> FigureResult:
+    """Last-agent commit processing."""
+    nodes = ["coordinator", "last-agent"]
+    cluster = Cluster(PRESUMED_ABORT.with_options(last_agent=True),
+                      nodes=nodes)
+    tracer = Tracer().attach(cluster)
+    spec = flat_tree("coordinator", ["last-agent"])
+    spec.participant("coordinator").ops.append(write_op("a", 1))
+    spec.participant("last-agent").ops.append(write_op("b", 2))
+    spec.participant("last-agent").last_agent = True
+    _run(cluster, spec, tracer)
+    cluster.finalize_implied_acks()
+    diagram = render_sequence_diagram(
+        tracer.for_txn(spec.txn_id), nodes,
+        title="Figure 6. Last-Agent Commit Processing",
+        include_notes=False)
+    return FigureResult(6, "Last-Agent Commit Processing", diagram, tracer,
+                        cluster, [spec.txn_id])
+
+
+def figure7() -> FigureResult:
+    """Long locks: the subordinate buffers its ack and the next
+    transaction's first message carries it."""
+    nodes = ["coordinator", "subordinate"]
+    cluster = Cluster(PRESUMED_ABORT.with_options(long_locks=True),
+                      nodes=nodes)
+    tracer = Tracer().attach(cluster)
+    first = TransactionSpec(participants=[
+        ParticipantSpec(node="coordinator", ops=[write_op("a", 1)]),
+        ParticipantSpec(node="subordinate", parent="coordinator",
+                        ops=[write_op("b", 1)])], long_locks=True)
+    cluster.run_transaction(first)
+    # The subordinate begins the next transaction; its first message
+    # carries the buffered commit acknowledgment.
+    second = TransactionSpec(participants=[
+        ParticipantSpec(node="subordinate", ops=[write_op("c", 2)]),
+        ParticipantSpec(node="coordinator", parent="subordinate",
+                        ops=[write_op("d", 2)])])
+    cluster.run_transaction(second)
+    diagram = render_sequence_diagram(
+        tracer.for_txn(first.txn_id), nodes,
+        title="Figure 7. Example of Long Locks committing one transaction",
+        include_notes=True, include_data=True)
+    return FigureResult(7, "Long Locks", diagram, tracer, cluster,
+                        [first.txn_id, second.txn_id])
+
+
+def figure8() -> FigureResult:
+    """Vote reliable: all resources reliable, early acknowledgment and
+    waived subordinate acks."""
+    nodes = ["coordinator", "cascaded", "subordinate"]
+    cluster = Cluster(PRESUMED_ABORT.with_options(vote_reliable=True),
+                      nodes=nodes, reliable_nodes=nodes)
+    tracer = Tracer().attach(cluster)
+    spec = chain_tree(nodes)
+    for participant in spec.participants:
+        participant.ops.append(write_op(f"k-{participant.node}", 1))
+    _run(cluster, spec, tracer)
+    diagram = render_sequence_diagram(
+        tracer.for_txn(spec.txn_id), nodes,
+        title="Figure 8. Two-Phase Commit Processing, All Resources "
+              "Voted Reliable", include_notes=False)
+    return FigureResult(8, "All Resources Voted Reliable", diagram, tracer,
+                        cluster, [spec.txn_id])
+
+
+ALL_FIGURES: Dict[int, Callable[[], FigureResult]] = {
+    1: figure1, 2: figure2, 3: figure3, 4: figure4,
+    5: figure5, 6: figure6, 7: figure7, 8: figure8,
+}

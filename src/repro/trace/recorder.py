@@ -1,0 +1,94 @@
+"""Event recording for sequence diagrams and debugging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.cluster import Cluster
+from repro.log.records import LogRecord
+from repro.net.message import Message
+
+
+@dataclass
+class TraceEvent:
+    """One traced protocol event.
+
+    kind is "flow" (network message), "log" (log record) or "note"
+    (protocol state transition worth showing, e.g. "commits locally").
+    """
+
+    time: float
+    kind: str
+    node: str                      # acting node (sender for flows)
+    text: str
+    dst: Optional[str] = None      # flows only
+    forced: Optional[bool] = None  # log events only
+    txn_id: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.kind == "flow":
+            return f"[{self.time:8.2f}] {self.node} -> {self.dst}: {self.text}"
+        if self.kind == "log":
+            star = "*" if self.forced else ""
+            return f"[{self.time:8.2f}] {self.node}: {star}log {self.text}"
+        return f"[{self.time:8.2f}] {self.node}: {self.text}"
+
+
+class Tracer:
+    """Collects protocol events from a cluster.
+
+    Attach before running the workload: hooks are installed on the
+    network and on every node that exists at attach time.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._cluster: Optional[Cluster] = None
+
+    def attach(self, cluster: Cluster) -> "Tracer":
+        self._cluster = cluster
+        cluster.network.on_send.append(self._on_flow)
+        for node in cluster.nodes.values():
+            node.log.on_write.append(
+                lambda record, node=node: self._on_log(record))
+            node.on_note.append(self._on_note)
+            for rm in node.detached_rms.values():
+                if rm.log is not node.log:
+                    rm.log.on_write.append(
+                        lambda record: self._on_log(record))
+        return self
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self._cluster.simulator.now if self._cluster else 0.0
+
+    def _on_flow(self, message: Message) -> None:
+        flags = ",".join(sorted(k for k, v in message.flags.items() if v))
+        text = message.msg_type.value + (f" [{flags}]" if flags else "")
+        self.events.append(TraceEvent(
+            time=self._now(), kind="flow", node=message.src,
+            dst=message.dst, text=text, txn_id=message.txn_id))
+
+    def _on_log(self, record: LogRecord) -> None:
+        self.events.append(TraceEvent(
+            time=self._now(), kind="log", node=record.node,
+            text=record.record_type.value, forced=record.forced,
+            txn_id=record.txn_id))
+
+    def _on_note(self, node: str, txn_id: str, text: str) -> None:
+        self.events.append(TraceEvent(
+            time=self._now(), kind="note", node=node, text=text,
+            txn_id=txn_id))
+
+    # ------------------------------------------------------------------
+    def for_txn(self, txn_id: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.txn_id == txn_id]
+
+    def flows(self, txn_id: Optional[str] = None) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "flow"
+                and (txn_id is None or e.txn_id == txn_id)]
+
+    def transcript(self, txn_id: Optional[str] = None) -> str:
+        events = self.for_txn(txn_id) if txn_id else self.events
+        return "\n".join(e.describe() for e in events)

@@ -1,0 +1,11 @@
+"""Runtime protocol verification.
+
+An online checker that watches a cluster's message and log streams and
+flags violations of the 2PC safety rules — the machine-checkable core
+of what the paper's protocols promise.  Attach it to any run (the
+property tests do) and call :meth:`ProtocolChecker.assert_clean`.
+"""
+
+from repro.verify.checker import ProtocolChecker, Violation
+
+__all__ = ["ProtocolChecker", "Violation"]

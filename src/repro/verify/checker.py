@@ -1,0 +1,160 @@
+"""Online 2PC invariant checking.
+
+Rules enforced (observing message sends and log writes only):
+
+R1  A YES vote is sent only after that node forced a PREPARED record
+    for the transaction (the promise the vote makes durable).
+R2  A YES vote is solicited: a prepare (or delegation) was previously
+    sent to the voter — unless the vote is flagged unsolicited.
+R3  A COMMIT is sent only by a node that has logged COMMITTED for the
+    transaction (decision makers force it first; subordinates log
+    before propagating).
+R4  No transaction sees both COMMIT and ABORT on the wire (heuristic
+    *records* may conflict with the outcome — that is damage, reported
+    separately — but protocol messages never do).
+R5  An acknowledgment is sent only after the sender logged an outcome
+    (committed, aborted, or a heuristic record).
+R6  At quiescence, the durable outcomes of all participants agree
+    (atomicity); heuristic records count as the documented exception
+    and are reported as damage, not violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.cluster import Cluster
+from repro.log.records import LogRecord, LogRecordType
+from repro.net.message import Message, MessageType
+
+
+@dataclass
+class Violation:
+    rule: str
+    txn_id: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] txn {self.txn_id}: {self.detail}"
+
+
+_OUTCOME_RECORDS = {LogRecordType.COMMITTED, LogRecordType.ABORTED,
+                    LogRecordType.HEURISTIC_COMMIT,
+                    LogRecordType.HEURISTIC_ABORT}
+
+
+class ProtocolChecker:
+    """Attach to a cluster before running; inspect violations after."""
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self._cluster: Optional[Cluster] = None
+        # (node, txn) -> facts observed so far
+        self._forced_prepared: Set[Tuple[str, str]] = set()
+        self._logged_committed: Set[Tuple[str, str]] = set()
+        self._logged_outcome: Set[Tuple[str, str]] = set()
+        self._prepare_sent_to: Set[Tuple[str, str]] = set()
+        self._outcomes_on_wire: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, cluster: Cluster) -> "ProtocolChecker":
+        self._cluster = cluster
+        cluster.network.on_send.append(self._on_send)
+        for node in cluster.nodes.values():
+            node.log.on_write.append(self._on_log)
+            for rm in node.detached_rms.values():
+                if rm.log is not node.log:
+                    rm.log.on_write.append(self._on_log)
+        return self
+
+    # ------------------------------------------------------------------
+    # Stream handlers
+    # ------------------------------------------------------------------
+    def _on_log(self, record: LogRecord) -> None:
+        key = (record.node, record.txn_id)
+        if record.record_type is LogRecordType.PREPARED and record.forced:
+            self._forced_prepared.add(key)
+        if record.record_type is LogRecordType.COMMITTED:
+            self._logged_committed.add(key)
+        if record.record_type in _OUTCOME_RECORDS:
+            self._logged_outcome.add(key)
+
+    def _on_send(self, message: Message) -> None:
+        txn = message.txn_id
+        key = (message.src, txn)
+        if message.msg_type is MessageType.PREPARE:
+            self._prepare_sent_to.add((message.dst, txn))
+        elif message.msg_type is MessageType.VOTE_YES:
+            if message.flag("last_agent_delegation"):
+                # The delegation is itself a solicitation for the agent.
+                self._prepare_sent_to.add((message.dst, txn))
+            if key not in self._forced_prepared:
+                self._flag("R1", txn,
+                           f"{message.src} voted YES without a forced "
+                           f"prepared record")
+            solicited = (key in self._prepare_sent_to
+                         or message.flag("unsolicited")
+                         # A delegating initiator solicits itself.
+                         or message.flag("last_agent_delegation"))
+            if not solicited:
+                self._flag("R2", txn,
+                           f"{message.src} voted YES without being "
+                           f"asked to prepare")
+        elif message.msg_type is MessageType.VOTE_READ_ONLY:
+            if message.flag("last_agent_delegation"):
+                self._prepare_sent_to.add((message.dst, txn))
+        elif message.msg_type is MessageType.COMMIT:
+            if key not in self._logged_committed:
+                self._flag("R3", txn,
+                           f"{message.src} sent COMMIT without logging "
+                           f"a committed record")
+            self._record_wire_outcome(txn, "commit", message.src)
+        elif message.msg_type is MessageType.ABORT:
+            self._record_wire_outcome(txn, "abort", message.src)
+        elif message.msg_type in (MessageType.ACK,
+                                  MessageType.RECOVERY_ACK):
+            if key not in self._logged_outcome:
+                self._flag("R5", txn,
+                           f"{message.src} acknowledged without logging "
+                           f"an outcome")
+        elif message.msg_type is MessageType.OUTCOME:
+            self._record_wire_outcome(
+                txn, message.payload.get("outcome", "?"), message.src)
+
+    def _record_wire_outcome(self, txn: str, outcome: str,
+                             src: str) -> None:
+        seen = self._outcomes_on_wire.setdefault(txn, set())
+        seen.add(outcome)
+        if len(seen - {"?"}) > 1:
+            self._flag("R4", txn,
+                       f"conflicting outcomes on the wire: {sorted(seen)} "
+                       f"(latest from {src})")
+
+    def _flag(self, rule: str, txn: str, detail: str) -> None:
+        self.violations.append(Violation(rule=rule, txn_id=txn,
+                                         detail=detail))
+
+    # ------------------------------------------------------------------
+    # Final (quiescent) checks
+    # ------------------------------------------------------------------
+    def check_atomicity(self, txn_id: str,
+                        nodes: Optional[List[str]] = None) -> None:
+        """R6: durable outcomes of all participants agree."""
+        if self._cluster is None:
+            raise RuntimeError("checker is not attached")
+        names = nodes or list(self._cluster.nodes)
+        outcomes = {}
+        for name in names:
+            recorded = self._cluster.recorded_outcome(name, txn_id)
+            if recorded is not None and not recorded.startswith("heuristic"):
+                outcomes[name] = recorded
+        if len(set(outcomes.values())) > 1:
+            self._flag("R6", txn_id,
+                       f"participants disagree durably: {outcomes}")
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            rendered = "\n".join(str(v) for v in self.violations)
+            raise AssertionError(
+                f"{len(self.violations)} protocol violations:\n{rendered}")

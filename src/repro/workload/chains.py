@@ -1,0 +1,49 @@
+"""Chained-transaction workloads (the Table 4 shape).
+
+Long strings of short two-member transactions with small inter-
+transaction delays — the end-of-day banking reconciliation pattern the
+paper cites as the long-locks sweet spot.  Roles alternate between the
+two members so each transaction's first message can carry the previous
+transaction's deferred acknowledgment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import write_op
+
+
+def chained_transaction_specs(r: int, node_a: str = "a", node_b: str = "b",
+                              long_locks: bool = False,
+                              last_agent_pairs: bool = False
+                              ) -> List[TransactionSpec]:
+    """Build ``r`` chained 2-member transaction specs.
+
+    Args:
+        r: Number of transactions.
+        long_locks: Request the long-locks variation on every txn.
+        last_agent_pairs: Use the paired last-agent pattern ("two
+            transactions in three steps"); requires an even ``r``.
+    """
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    if last_agent_pairs and r % 2:
+        raise ValueError("last_agent_pairs requires an even r")
+    specs = []
+    for i in range(r):
+        root, other = (node_a, node_b) if i % 2 == 0 else (node_b, node_a)
+        participants = [
+            ParticipantSpec(node=root, ops=[write_op(f"acct-{root}-{i}", i)]),
+            ParticipantSpec(node=other, parent=root,
+                            ops=[write_op(f"acct-{other}-{i}", i)],
+                            last_agent=last_agent_pairs),
+        ]
+        # In the paired pattern only the first of each pair defers its
+        # decision; the second's commit closes the three-step exchange.
+        spec_long_locks = (long_locks if not last_agent_pairs
+                           else (i % 2 == 0))
+        specs.append(TransactionSpec(participants=participants,
+                                     long_locks=spec_long_locks))
+    return specs

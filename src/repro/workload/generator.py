@@ -1,0 +1,84 @@
+"""Parameterised transaction generation.
+
+The generator produces streams of transaction specs with controlled
+read-only fractions, key-space contention and per-participant
+operation counts — the knobs behind the paper's environments
+("dominated by read-only transactions", "large number of short
+transactions with small delays", etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import Operation, read_op, write_op
+from repro.sim.randomness import RandomStream
+
+
+@dataclass
+class WorkloadParams:
+    """Workload shape knobs.
+
+    Attributes:
+        read_only_fraction: Probability that a *participant* performs
+            only reads.
+        ops_per_participant: Operations each participant executes.
+        key_space: Number of distinct keys per node (smaller = more
+            lock contention).
+        update_fraction: Probability that an individual operation of a
+            non-read-only participant is a write.
+    """
+
+    read_only_fraction: float = 0.0
+    ops_per_participant: int = 2
+    key_space: int = 64
+    update_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_only_fraction <= 1.0:
+            raise ValueError("read_only_fraction must be in [0, 1]")
+        if not 0.0 <= self.update_fraction <= 1.0:
+            raise ValueError("update_fraction must be in [0, 1]")
+        if self.ops_per_participant < 0:
+            raise ValueError("ops_per_participant must be >= 0")
+        if self.key_space < 1:
+            raise ValueError("key_space must be >= 1")
+
+
+@dataclass
+class WorkloadGenerator:
+    """Generates transaction specs over a fixed set of nodes."""
+
+    nodes: Sequence[str]
+    params: WorkloadParams = field(default_factory=WorkloadParams)
+    rng: RandomStream = field(default_factory=lambda: RandomStream(0))
+
+    def participant_ops(self, node: str, read_only: bool) -> List[Operation]:
+        ops: List[Operation] = []
+        for __ in range(self.params.ops_per_participant):
+            key = f"{node}-k{self.rng.randint(0, self.params.key_space - 1)}"
+            if read_only or not self.rng.chance(self.params.update_fraction):
+                ops.append(read_op(key))
+            else:
+                ops.append(write_op(key, self.rng.randint(0, 10_000)))
+        return ops
+
+    def next_spec(self) -> TransactionSpec:
+        """A flat-tree transaction rooted at the first node."""
+        root = self.nodes[0]
+        participants = [ParticipantSpec(
+            node=root, ops=self.participant_ops(root, read_only=False))]
+        for name in self.nodes[1:]:
+            read_only = self.rng.chance(self.params.read_only_fraction)
+            participants.append(ParticipantSpec(
+                node=name, parent=root,
+                ops=self.participant_ops(name, read_only)))
+        return TransactionSpec(participants=participants)
+
+    def stream(self, count: int) -> Iterator[TransactionSpec]:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        for __ in range(count):
+            yield self.next_spec()

@@ -1,0 +1,117 @@
+"""Named commercial workload profiles.
+
+Synthetic stand-ins for the commercial applications the paper's
+introduction motivates (reservations, banking, credit cards), each
+shaped to exercise the optimization the paper recommends for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.cluster import Cluster
+from repro.core.config import PRESUMED_ABORT, ProtocolConfig
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import read_op, write_op
+from repro.net.latency import LatencyModel, SatelliteLink
+from repro.workload.chains import chained_transaction_specs
+
+
+@dataclass
+class WorkloadProfile:
+    """A named scenario: config + topology + transaction stream."""
+
+    name: str
+    description: str
+    config: ProtocolConfig
+    nodes: List[str]
+    specs: Callable[[], List[TransactionSpec]]
+    latency: Optional[LatencyModel] = None
+    reliable_nodes: List[str] = field(default_factory=list)
+
+    def build_cluster(self, seed: int = 0) -> Cluster:
+        return Cluster(self.config, nodes=self.nodes, seed=seed,
+                       latency=self.latency,
+                       reliable_nodes=self.reliable_nodes)
+
+
+def banking_reconciliation(r: int = 12) -> WorkloadProfile:
+    """End-of-day account reconciliation between two banks: many short
+    chained transactions with small delays — the long-locks showcase
+    the paper cites (§4, Long Locks)."""
+    return WorkloadProfile(
+        name="banking-reconciliation",
+        description=(f"{r} chained 2-member transactions between two "
+                     f"banks; long locks piggyback every ack"),
+        config=PRESUMED_ABORT.with_options(long_locks=True),
+        nodes=["bank-a", "bank-b"],
+        specs=lambda: chained_transaction_specs(
+            r, "bank-a", "bank-b", long_locks=True))
+
+
+def travel_booking(satellite_delay: float = 50.0) -> WorkloadProfile:
+    """A travel agency booking flight + hotel + car: the faraway airline
+    system sits behind a slow (satellite) link, so it is the last agent
+    (§4, Last Agent: 'prepare the closest located partners ... and
+    reduce the communication with the faraway partner to one slow
+    round-trip')."""
+
+    def build_specs() -> List[TransactionSpec]:
+        spec = TransactionSpec(participants=[
+            ParticipantSpec(node="agency",
+                            ops=[write_op("itinerary", "NYC->LIS")]),
+            ParticipantSpec(node="hotel", parent="agency",
+                            ops=[write_op("room-42", "booked")]),
+            ParticipantSpec(node="car-rental", parent="agency",
+                            ops=[read_op("availability")]),
+            ParticipantSpec(node="airline", parent="agency",
+                            ops=[write_op("seat-17A", "booked")],
+                            last_agent=True),
+        ])
+        return [spec]
+
+    return WorkloadProfile(
+        name="travel-booking",
+        description="flight+hotel+car booking; the satellite-linked "
+                    "airline is the last agent, the car lookup is "
+                    "read-only",
+        config=PRESUMED_ABORT.with_options(last_agent=True),
+        nodes=["agency", "hotel", "car-rental", "airline"],
+        specs=build_specs,
+        latency=SatelliteLink("airline", slow_delay=satellite_delay,
+                              fast_delay=1.0))
+
+
+def read_mostly_reporting(n: int = 8, readers: int = 6) -> WorkloadProfile:
+    """An environment dominated by read-only work (reporting over a
+    mostly-static catalogue): the read-only vote removes 2m flows and
+    2m forced writes (§4, Read Only)."""
+    nodes = ["warehouse"] + [f"branch{i}" for i in range(1, n)]
+
+    def build_specs() -> List[TransactionSpec]:
+        participants = [ParticipantSpec(node="warehouse",
+                                        ops=[write_op("report-seq", 1)])]
+        for index, name in enumerate(nodes[1:]):
+            if index < readers:
+                ops = [read_op("catalogue")]
+            else:
+                ops = [write_op(f"branch-total-{name}", 100)]
+            participants.append(ParticipantSpec(node=name,
+                                                parent="warehouse",
+                                                ops=ops))
+        return [TransactionSpec(participants=participants)]
+
+    return WorkloadProfile(
+        name="read-mostly-reporting",
+        description=f"{readers} of {n - 1} branches are read-only",
+        config=PRESUMED_ABORT,
+        nodes=nodes,
+        specs=build_specs)
+
+
+PROFILES: Dict[str, Callable[[], WorkloadProfile]] = {
+    "banking-reconciliation": banking_reconciliation,
+    "travel-booking": travel_booking,
+    "read-mostly-reporting": read_mostly_reporting,
+}

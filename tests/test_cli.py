@@ -1,0 +1,84 @@
+"""CLI tests (``repro-2pc`` / ``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_table1(capsys):
+    code, out, __ = run_cli(capsys, "table", "1")
+    assert code == 0
+    assert "Read Only" in out and "Group Commit" in out
+
+
+def test_table2_all_rows_ok(capsys):
+    code, out, __ = run_cli(capsys, "table", "2")
+    assert code == 0
+    assert "MISMATCH" not in out
+    assert "Basic 2PC" in out and "PC, Commit case" in out
+
+
+def test_table3_default_and_custom_params(capsys):
+    code, out, __ = run_cli(capsys, "table", "3")
+    assert code == 0 and "n=11, m=4" in out
+    code, out, __ = run_cli(capsys, "table", "3", "--n", "5", "--m", "2")
+    assert code == 0 and "n=5, m=2" in out
+    assert "MISMATCH" not in out
+
+
+def test_table4(capsys):
+    code, out, __ = run_cli(capsys, "table", "4", "--r", "6")
+    assert code == 0
+    assert "r=6" in out and "MISMATCH" not in out
+
+
+@pytest.mark.parametrize("number", ["1", "3", "6", "7"])
+def test_figures_render(capsys, number):
+    code, out, __ = run_cli(capsys, "figure", number)
+    assert code == 0
+    assert f"Figure {number}" in out
+
+
+def test_figure5_prints_commentary(capsys):
+    code, out, __ = run_cli(capsys, "figure", "5")
+    assert code == 0
+    assert "different outcomes" in out
+
+
+def test_compare_all_cells(capsys):
+    code, out, __ = run_cli(capsys, "compare")
+    assert code == 0
+    assert "every cell reproduces the paper" in out
+
+
+def test_profile_runs(capsys):
+    code, out, __ = run_cli(capsys, "profile", "banking-reconciliation")
+    assert code == 0
+    assert "commit" in out
+
+
+def test_profile_unknown(capsys):
+    code, __, err = run_cli(capsys, "profile", "nope")
+    assert code == 2
+    assert "unknown profile" in err
+
+
+def test_list_profiles(capsys):
+    code, out, __ = run_cli(capsys, "list-profiles")
+    assert code == 0
+    assert "travel-booking" in out
+
+
+def test_parser_rejects_bad_table():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table", "9"])
+
+
+def test_module_entry_point():
+    import repro.__main__  # noqa: F401  (import side-effect free)

@@ -1,0 +1,62 @@
+"""Combined-optimization study (analysis.combined) unit tests."""
+
+import pytest
+
+from repro.analysis.combined import (
+    COMBINATIONS,
+    CombinedConfig,
+    run_all_combinations,
+    run_combination,
+)
+from repro.core.config import BASIC_2PC
+
+
+def test_combination_registry_shape():
+    keys = [combo.key for combo in COMBINATIONS]
+    assert keys == ["baseline", "pa", "pa_ro", "pa_ro_la", "pa_ro_la_sl"]
+    for combo in COMBINATIONS:
+        assert combo.description
+
+
+def test_single_combination_runs_both_cases():
+    result = run_combination(COMBINATIONS[0])
+    assert result.cost.flows > 0
+    assert result.abort_cost is not None
+    assert result.latency > 0
+
+
+def test_pa_matches_baseline_on_commit_but_wins_abort():
+    results = run_all_combinations()
+    baseline = results["baseline"]
+    pa = results["pa"]
+    assert pa.cost.as_tuple() == baseline.cost.as_tuple()
+    assert pa.abort_cost.forced_writes < baseline.abort_cost.forced_writes
+    assert pa.abort_cost.flows <= baseline.abort_cost.flows
+
+
+def test_read_only_step_cuts_commit_cost():
+    results = run_all_combinations()
+    assert results["pa_ro"].cost.flows < results["pa"].cost.flows
+    assert results["pa_ro"].cost.forced_writes < \
+        results["pa"].cost.forced_writes
+
+
+def test_last_agent_step_cuts_latency_on_satellite():
+    results = run_all_combinations(slow_delay=25.0)
+    assert results["pa_ro_la"].latency < results["pa_ro"].latency
+
+
+def test_shared_log_step_cuts_forces_only():
+    results = run_all_combinations()
+    with_sl = results["pa_ro_la_sl"]
+    without = results["pa_ro_la"]
+    assert with_sl.cost.forced_writes < without.cost.forced_writes
+    assert with_sl.cost.flows == without.cost.flows
+    assert with_sl.local_flows >= without.local_flows
+
+
+def test_custom_combination():
+    custom = CombinedConfig(key="x", label="X", config=BASIC_2PC)
+    result = run_combination(custom)
+    assert result.key == "x"
+    assert result.cost.flows > 0

@@ -1,0 +1,98 @@
+"""Unit tests for protocol configuration."""
+
+import pytest
+
+from repro.core.config import (
+    BASIC_2PC,
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+    Presumption,
+    ProtocolConfig,
+)
+from repro.errors import ConfigurationError
+
+
+def test_presets_presumptions():
+    assert BASIC_2PC.presumption is Presumption.BASIC
+    assert PRESUMED_ABORT.presumption is Presumption.ABORT
+    assert PRESUMED_NOTHING.presumption is Presumption.NOTHING
+    assert PRESUMED_COMMIT.presumption is Presumption.COMMIT
+
+
+def test_baseline_has_no_optimizations():
+    assert not BASIC_2PC.read_only
+    assert not BASIC_2PC.leave_out
+    assert not BASIC_2PC.last_agent
+
+
+def test_pa_includes_paper_defaults():
+    """Per §3: PA incorporates read-only and leave-inactive-partners-out."""
+    assert PRESUMED_ABORT.read_only
+    assert PRESUMED_ABORT.leave_out
+
+
+def test_derived_logging_rules():
+    assert PRESUMED_NOTHING.coordinator_logs_before_prepare
+    assert PRESUMED_COMMIT.coordinator_logs_before_prepare
+    assert not PRESUMED_ABORT.coordinator_logs_before_prepare
+    assert not BASIC_2PC.coordinator_logs_before_prepare
+
+
+def test_derived_ack_rules():
+    assert not PRESUMED_ABORT.abort_needs_acks
+    assert BASIC_2PC.abort_needs_acks
+    assert not PRESUMED_COMMIT.commit_needs_acks
+    assert PRESUMED_ABORT.commit_needs_acks
+
+
+def test_derived_force_rules():
+    assert not PRESUMED_COMMIT.subordinate_commit_forced
+    assert PRESUMED_ABORT.subordinate_commit_forced
+    assert not PRESUMED_ABORT.subordinate_abort_forced
+    assert BASIC_2PC.subordinate_abort_forced
+
+
+def test_pn_specifics():
+    assert PRESUMED_NOTHING.subordinate_logs_initiator_record
+    assert PRESUMED_NOTHING.coordinator_driven_recovery
+    assert PRESUMED_NOTHING.reports_to_root
+    assert not PRESUMED_ABORT.reports_to_root
+
+
+def test_reports_to_root_override():
+    config = PRESUMED_ABORT.with_options(propagate_heuristic_reports=True)
+    assert config.reports_to_root
+
+
+def test_with_options_returns_new_config():
+    config = PRESUMED_ABORT.with_options(last_agent=True)
+    assert config.last_agent
+    assert not PRESUMED_ABORT.last_agent
+
+
+def test_pn_early_ack_rejected():
+    with pytest.raises(ConfigurationError):
+        PRESUMED_NOTHING.with_options(early_ack=True)
+
+
+@pytest.mark.parametrize("field", ["heuristic_timeout", "ack_timeout",
+                                   "vote_timeout"])
+def test_non_positive_timeouts_rejected(field):
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(**{field: 0.0})
+
+
+def test_negative_io_latency_rejected():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(io_latency=-0.1)
+
+
+def test_retry_interval_positive():
+    with pytest.raises(ConfigurationError):
+        ProtocolConfig(retry_interval=0.0)
+
+
+def test_config_is_frozen():
+    with pytest.raises(Exception):
+        PRESUMED_ABORT.read_only = False

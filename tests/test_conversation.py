@@ -1,0 +1,95 @@
+"""LU 6.2 conversation-state tracking tests."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import PRESUMED_ABORT
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import write_op
+from repro.net.conversation import ConversationTracker
+from repro.workload.chains import chained_transaction_specs
+
+from tests.conftest import updating_spec
+
+
+def test_turnaround_counting_basic_commit():
+    cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+    tracker = ConversationTracker().attach(cluster)
+    cluster.run_transaction(updating_spec("c", ["s"]))
+    state = tracker.session("c", "s")
+    # enroll(c) work-done(s) prepare(c) vote(s) commit(c) ack(s):
+    # five direction changes on one session.
+    assert state.messages == 6
+    assert state.turnarounds == 5
+    tracker.assert_clean()
+
+
+def test_long_locks_saves_messages_not_turnarounds():
+    """The deferred ack rides the next message in the SAME direction,
+    so long locks removes wire messages without changing the number of
+    half-duplex line turnarounds — piggybacking in the purest sense."""
+    def stats(long_locks: bool, r: int = 4):
+        config = PRESUMED_ABORT.with_options(long_locks=long_locks)
+        cluster = Cluster(config, nodes=["a", "b"])
+        tracker = ConversationTracker().attach(cluster)
+        for spec in chained_transaction_specs(r, long_locks=long_locks):
+            cluster.run_transaction(spec)
+        cluster.send_application_data("a", "b")
+        cluster.send_application_data("b", "a")
+        state = tracker.session("a", "b")
+        return state.messages, state.turnarounds
+
+    ll_messages, ll_turnarounds = stats(True)
+    plain_messages, plain_turnarounds = stats(False)
+    assert ll_messages < plain_messages
+    assert ll_turnarounds == plain_turnarounds
+
+
+def test_long_locks_precondition_satisfied_by_chain():
+    """In a well-formed chain the subordinate really does speak next
+    after every long-locks commit."""
+    config = PRESUMED_ABORT.with_options(long_locks=True)
+    cluster = Cluster(config, nodes=["a", "b"])
+    tracker = ConversationTracker().attach(cluster)
+    for spec in chained_transaction_specs(4, long_locks=True):
+        cluster.run_transaction(spec)
+    cluster.send_application_data("a", "b")
+    cluster.send_application_data("b", "a")
+    tracker.assert_clean()
+
+
+def test_long_locks_precondition_violation_detected():
+    """If the coordinator itself speaks next (it was supposed to sit in
+    RECEIVE state), the tracker flags the application design error."""
+    config = PRESUMED_ABORT.with_options(long_locks=True)
+    cluster = Cluster(config, nodes=["a", "b"])
+    tracker = ConversationTracker().attach(cluster)
+    spec = TransactionSpec(participants=[
+        ParticipantSpec(node="a", ops=[write_op("x", 1)]),
+        ParticipantSpec(node="b", parent="a", ops=[write_op("y", 1)])],
+        long_locks=True)
+    cluster.run_transaction(spec)
+    # The coordinator barges in with new data instead of waiting.
+    cluster.send_application_data("a", "b")
+    assert len(tracker.violations) == 1
+    assert "a sent" in str(tracker.violations[0])
+    with pytest.raises(AssertionError):
+        tracker.assert_clean()
+
+
+def test_sessions_tracked_per_pair():
+    cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s1", "s2"])
+    tracker = ConversationTracker().attach(cluster)
+    cluster.run_transaction(updating_spec("c", ["s1", "s2"]))
+    assert len(tracker.sessions) == 2
+    assert tracker.session("c", "s1").messages == 6
+    # Session keys are direction-independent.
+    assert tracker.session("s1", "c") is tracker.session("c", "s1")
+
+
+def test_receiver_property():
+    from repro.net.conversation import SessionState
+    state = SessionState(partners=("a", "b"))
+    assert state.receiver is None
+    state.sender = "a"
+    assert state.receiver == "b"

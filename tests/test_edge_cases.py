@@ -1,0 +1,188 @@
+"""Edge cases across subsystems."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import BASIC_2PC, PRESUMED_ABORT, PRESUMED_NOTHING
+from repro.core.spec import ParticipantSpec, TransactionSpec, flat_tree
+from repro.errors import DeadlockError
+from repro.lrm.locks import LockManager, LockMode
+from repro.lrm.operations import read_op, write_op
+from repro.net.message import MessageType
+from repro.sim.kernel import Simulator
+
+from tests.conftest import assert_atomic, updating_spec
+
+
+class TestLockEdgeCases:
+    def test_upgrade_upgrade_deadlock_detected(self):
+        """Two shared holders both requesting upgrades deadlock."""
+        simulator = Simulator()
+        locks = LockManager(simulator)
+        locks.acquire("t1", "k", LockMode.SHARED, lambda: None)
+        locks.acquire("t2", "k", LockMode.SHARED, lambda: None)
+        simulator.run()
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE, lambda: None)
+        with pytest.raises(DeadlockError):
+            locks.acquire("t2", "k", LockMode.EXCLUSIVE, lambda: None)
+
+    def test_deadlock_victim_release_lets_survivor_finish(self):
+        """After the victim of a deadlock releases, the survivor's
+        blocked request is granted and it can complete."""
+        from repro.lrm.resource_manager import ResourceManager
+        from repro.log.manager import LogManager
+        from repro.metrics.collector import MetricsCollector
+        simulator = Simulator()
+        metrics = MetricsCollector()
+        rm = ResourceManager("rm", "n", simulator, metrics,
+                             LogManager(simulator, metrics, "n"))
+        done = []
+        rm.perform("t1", [write_op("a", 1)], on_done=lambda: done.append("t1a"))
+        rm.perform("t2", [write_op("b", 1)], on_done=lambda: done.append("t2b"))
+        simulator.run()
+        rm.perform("t1", [write_op("b", 2)], on_done=lambda: done.append("t1b"))
+        errors = []
+        rm.perform("t2", [write_op("a", 2)],
+                   on_done=lambda: done.append("t2a"),
+                   on_error=errors.append)
+        simulator.run()
+        assert len(errors) == 1 and isinstance(errors[0], DeadlockError)
+        rm.abort("t2")      # victim rolls back and releases
+        simulator.run()
+        assert "t1b" in done  # survivor's wait was granted
+
+
+class TestProtocolEdgeCases:
+    def test_all_children_vote_no(self):
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s1", "s2"])
+        spec = updating_spec("c", ["s1", "s2"])
+        spec.participant("s1").veto = True
+        spec.participant("s2").veto = True
+        handle = cluster.run_transaction(spec)
+        assert handle.aborted
+        assert_atomic(cluster, spec)
+
+    def test_wide_flat_tree(self):
+        nodes = [f"n{i}" for i in range(30)]
+        cluster = Cluster(PRESUMED_ABORT, nodes=nodes)
+        spec = updating_spec("n0", nodes[1:])
+        handle = cluster.run_transaction(spec)
+        assert handle.committed
+        assert cluster.metrics.commit_flows(txn=spec.txn_id) == 4 * 29
+
+    def test_deep_chain(self):
+        nodes = [f"d{i}" for i in range(12)]
+        cluster = Cluster(PRESUMED_NOTHING, nodes=nodes)
+        participants = [ParticipantSpec(node=nodes[0],
+                                        ops=[write_op("k0", 0)])]
+        for index, (parent, child) in enumerate(zip(nodes, nodes[1:])):
+            participants.append(ParticipantSpec(
+                node=child, parent=parent,
+                ops=[write_op(f"k{index + 1}", index + 1)]))
+        spec = TransactionSpec(participants=participants)
+        handle = cluster.run_transaction(spec)
+        assert handle.committed
+        assert_atomic(cluster, spec)
+
+    def test_mixed_readers_and_vetoer_in_basic(self):
+        """Baseline treats readers as full voters — they must also be
+        told about the abort and acknowledge it."""
+        cluster = Cluster(BASIC_2PC, nodes=["c", "reader", "vetoer"])
+        spec = flat_tree("c", ["reader", "vetoer"])
+        spec.participant("reader").ops.append(read_op("x"))
+        spec.participant("vetoer").ops.append(write_op("y", 1))
+        spec.participant("vetoer").veto = True
+        handle = cluster.run_transaction(spec)
+        assert handle.aborted
+        # The reader voted YES (no read-only optimization), so it is
+        # notified and acknowledges.
+        aborts_to_reader = [
+            1 for __ in range(1)
+            if cluster.metrics.flows.total(
+                msg_type=MessageType.ABORT.value, txn=spec.txn_id) >= 1]
+        assert aborts_to_reader
+        cluster.node("reader").default_rm.locks.assert_released(
+            spec.txn_id)
+
+    def test_both_nodes_crash_and_recover(self):
+        config = PRESUMED_ABORT.with_options(
+            ack_timeout=15.0, retry_interval=15.0, inquiry_timeout=15.0)
+        cluster = Cluster(config, nodes=["c", "s"])
+        spec = updating_spec("c", ["s"])
+        cluster.crash_at("c", 4.5)   # after deciding commit
+        cluster.crash_at("s", 4.6)   # in doubt
+        cluster.restart_at("c", 30.0)
+        cluster.restart_at("s", 40.0)
+        cluster.start_transaction(spec)
+        cluster.run_until(500.0)
+        assert cluster.durable_outcome("c", spec.txn_id) == "commit"
+        assert cluster.value("s", "key-s") == 1
+        assert cluster.value("c", "key-c") == 1
+
+    def test_repeated_crashes_of_same_node(self):
+        config = PRESUMED_ABORT.with_options(
+            ack_timeout=15.0, retry_interval=15.0)
+        cluster = Cluster(config, nodes=["c", "s"])
+        spec = updating_spec("c", ["s"])
+        cluster.crash_at("s", 4.5)
+        cluster.restart_at("s", 30.0)
+        cluster.crash_at("s", 35.0)
+        cluster.restart_at("s", 60.0)
+        handle = cluster.start_transaction(spec)
+        cluster.run_until(500.0)
+        assert handle.committed
+        assert cluster.value("s", "key-s") == 1
+
+    def test_group_commit_pending_forces_lost_in_crash(self):
+        """Force requests batched but not yet written die with the
+        crash; the presumption covers the unforced votes."""
+        from repro.log.group_commit import GroupCommitPolicy
+        config = PRESUMED_ABORT.with_options(
+            group_commit=GroupCommitPolicy(group_size=8, timeout=50.0),
+            vote_timeout=20.0)
+        cluster = Cluster(config, nodes=["c", "s"])
+        spec = updating_spec("c", ["s"])
+        # The sub's prepared force waits for a group that never fills;
+        # crash while it is pending.
+        cluster.crash_at("s", 10.0)
+        handle = cluster.start_transaction(spec)
+        cluster.run_until(100.0)
+        assert handle.aborted
+        assert cluster.durable_outcome("s", spec.txn_id) is None
+
+    def test_transaction_touching_node_twice_rejected(self):
+        with pytest.raises(Exception):
+            TransactionSpec(participants=[
+                ParticipantSpec(node="a"),
+                ParticipantSpec(node="b", parent="a"),
+                ParticipantSpec(node="b", parent="a")])
+
+
+class TestStress:
+    def test_hundred_transactions_sequential(self):
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s1", "s2"])
+        for i in range(100):
+            spec = flat_tree("c", ["s1", "s2"])
+            spec.participant("s1").ops.append(write_op("counter", i))
+            spec.participant("s2").ops.append(
+                write_op("mirror", i) if i % 2 else read_op("mirror"))
+            handle = cluster.run_transaction(spec)
+            assert handle.committed
+        assert cluster.value("s1", "counter") == 99
+
+    def test_fifty_concurrent_transactions(self):
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+        handles = []
+
+        def start(i):
+            spec = TransactionSpec(participants=[
+                ParticipantSpec(node="c", ops=[write_op(f"c{i}", i)]),
+                ParticipantSpec(node="s", parent="c",
+                                ops=[write_op(f"s{i}", i)])])
+            handles.append(cluster.start_transaction(spec))
+
+        for i in range(50):
+            cluster.simulator.at(i * 0.1, lambda i=i: start(i))
+        cluster.run()
+        assert all(h.committed for h in handles)
+        assert len(handles) == 50

@@ -1,0 +1,87 @@
+"""The PN/PC extension formulas must match the simulator, like the
+paper's own PA rows do."""
+
+import pytest
+
+from repro.analysis.formulas import (
+    TABLE3_PC_FORMULAS,
+    TABLE3_PN_FORMULAS,
+    pc_commit_costs,
+    pn_commit_costs,
+)
+from repro.analysis.scenarios import run_table3_scenario
+from repro.core.config import PRESUMED_COMMIT, PRESUMED_NOTHING
+
+SCENARIO_KEYS = ["read_only", "last_agent", "unsolicited_vote",
+                 "leave_out", "vote_reliable", "shared_logs",
+                 "long_locks"]
+
+
+@pytest.mark.parametrize("key", SCENARIO_KEYS)
+@pytest.mark.parametrize("n,m", [(4, 1), (7, 3), (11, 4)])
+def test_pn_formula_matches_simulation(key, n, m):
+    analytic = TABLE3_PN_FORMULAS[key].costs(n, m)
+    measured = run_table3_scenario(key, n, m,
+                                   base=PRESUMED_NOTHING).total
+    assert analytic.as_tuple() == measured.as_tuple(), \
+        f"PN {key}(n={n}, m={m}): {analytic} vs {measured}"
+
+
+@pytest.mark.parametrize("key", SCENARIO_KEYS)
+@pytest.mark.parametrize("n,m", [(4, 1), (7, 3), (11, 4)])
+def test_pc_formula_matches_simulation(key, n, m):
+    analytic = TABLE3_PC_FORMULAS[key].costs(n, m)
+    measured = run_table3_scenario(key, n, m,
+                                   base=PRESUMED_COMMIT).total
+    assert analytic.as_tuple() == measured.as_tuple(), \
+        f"PC {key}(n={n}, m={m}): {analytic} vs {measured}"
+
+
+def test_bases_match_whole_protocol_formulas():
+    for n in (2, 5, 11):
+        assert TABLE3_PN_FORMULAS["base"].costs(n, 0).as_tuple() == \
+            pn_commit_costs(n).as_tuple()
+        assert TABLE3_PC_FORMULAS["base"].costs(n, 0).as_tuple() == \
+            pc_commit_costs(n).as_tuple()
+
+
+class TestExtensionFindings:
+    """The qualitative conclusions the extension tables support."""
+
+    def test_last_agent_hurts_pc_logging(self):
+        base = TABLE3_PC_FORMULAS["base"].costs(11, 0)
+        optimized = TABLE3_PC_FORMULAS["last_agent"].costs(11, 4)
+        assert optimized.forced_writes > base.forced_writes
+        assert optimized.flows < base.flows  # still saves flows
+
+    def test_long_locks_is_a_noop_under_pc(self):
+        base = TABLE3_PC_FORMULAS["base"].costs(11, 0)
+        optimized = TABLE3_PC_FORMULAS["long_locks"].costs(11, 4)
+        assert optimized.as_tuple() == base.as_tuple()
+
+    def test_vote_reliable_is_a_noop_under_pc(self):
+        base = TABLE3_PC_FORMULAS["base"].costs(11, 0)
+        optimized = TABLE3_PC_FORMULAS["vote_reliable"].costs(11, 4)
+        assert optimized.as_tuple() == base.as_tuple()
+
+    def test_read_only_saves_less_under_pc(self):
+        """PC subordinates already skip the ack, so read-only removes
+        one flow per member, not two."""
+        from repro.analysis.formulas import TABLE3_FORMULAS
+        pa_saving = (TABLE3_FORMULAS["basic"].costs(11, 0).flows
+                     - TABLE3_FORMULAS["read_only"].costs(11, 4).flows)
+        pc_saving = (TABLE3_PC_FORMULAS["base"].costs(11, 0).flows
+                     - TABLE3_PC_FORMULAS["read_only"].costs(11, 4).flows)
+        assert pa_saving == 8 and pc_saving == 4
+
+    def test_shared_logs_strongest_under_pn(self):
+        """PN's subordinates force three records each, so co-locating
+        them as shared-log LRMs saves the most forces."""
+        pn_saving = (TABLE3_PN_FORMULAS["base"].costs(11, 0).forced_writes
+                     - TABLE3_PN_FORMULAS["shared_logs"].costs(
+                         11, 4).forced_writes)
+        from repro.analysis.formulas import TABLE3_FORMULAS
+        pa_saving = (TABLE3_FORMULAS["basic"].costs(11, 0).forced_writes
+                     - TABLE3_FORMULAS["shared_logs"].costs(
+                         11, 4).forced_writes)
+        assert pn_saving > pa_saving

@@ -1,0 +1,123 @@
+"""Figures 1-8: the traced protocol runs must reproduce the papers'
+sequence charts (arrow order, forced-write placement)."""
+
+import pytest
+
+from repro.net.message import MessageType
+from repro.trace.figures import ALL_FIGURES
+
+
+@pytest.fixture(scope="module")
+def figures():
+    return {num: build() for num, build in ALL_FIGURES.items()}
+
+
+def flow_sequence(result, txn_index=0):
+    txn = result.txn_ids[txn_index]
+    return [(e.node, e.dst, e.text.split(" ")[0])
+            for e in result.tracer.flows(txn)]
+
+
+def test_all_figures_render(figures):
+    for number, result in figures.items():
+        assert result.diagram.strip(), f"figure {number} empty"
+        assert f"Figure {number}" in result.diagram
+
+
+def test_figure1_arrow_order(figures):
+    flows = flow_sequence(figures[1])
+    commit_flows = [f for f in flows if f[2] != "data"]
+    assert [f[2] for f in commit_flows] == [
+        "prepare", "vote-yes", "commit", "ack"]
+
+
+def test_figure1_forced_writes_placement(figures):
+    """Subordinate forces prepared before voting; coordinator forces
+    committed before sending commit."""
+    result = figures[1]
+    events = result.tracer.for_txn(result.txn_ids[0])
+    kinds = [(e.kind, e.node, e.text) for e in events
+             if e.kind == "log" and e.forced]
+    assert kinds[0] == ("log", "subordinate", "prepared")
+    assert ("log", "coordinator", "committed") in kinds
+
+
+def test_figure2_cascaded_propagation(figures):
+    flows = [f for f in flow_sequence(figures[2]) if f[2] == "prepare"]
+    assert flows == [("coordinator", "cascaded", "prepare"),
+                     ("cascaded", "subordinate", "prepare")]
+
+
+def test_figure3_pn_commit_pending_first(figures):
+    """PN: the commit-pending force precedes the first prepare."""
+    result = figures[3]
+    events = result.tracer.for_txn(result.txn_ids[0])
+    indexed = [(i, e) for i, e in enumerate(events)]
+    pending = next(i for i, e in indexed
+                   if e.kind == "log" and e.text == "commit-pending"
+                   and e.node == "coordinator")
+    prepare = next(i for i, e in indexed
+                   if e.kind == "flow" and e.text.startswith("prepare"))
+    assert pending < prepare
+
+
+def test_figure3_late_acks_bubble_up(figures):
+    result = figures[3]
+    flows = flow_sequence(result)
+    acks = [f for f in flows if f[2] == "ack"]
+    assert acks == [("subordinate", "cascaded", "ack"),
+                    ("cascaded", "coordinator", "ack")]
+
+
+def test_figure4_reader_left_out_of_phase_two(figures):
+    result = figures[4]
+    flows = flow_sequence(result)
+    to_reader = [f for f in flows if f[1] == "reader"]
+    from_reader = [f for f in flows if f[0] == "reader" and f[2] != "data"]
+    assert [f[2] for f in to_reader if f[2] != "data"] == ["prepare"]
+    assert [f[2] for f in from_reader] == ["vote-read-only"]
+
+
+def test_figure5_demonstrates_divergent_outcomes(figures):
+    result = figures[5]
+    assert "commit" in result.commentary and "abort" in result.commentary
+    assert "different outcomes" in result.commentary
+
+
+def test_figure6_two_flow_exchange(figures):
+    flows = [f for f in flow_sequence(figures[6]) if f[2] != "data"]
+    assert [f[2] for f in flows] == ["vote-yes", "commit"]
+    assert flows[0][0] == "coordinator"   # delegation out
+    assert flows[1][0] == "last-agent"    # decision back
+
+
+def test_figure7_ack_piggybacks_on_next_transaction(figures):
+    result = figures[7]
+    first_txn = result.txn_ids[0]
+    # No standalone ack flow in the first transaction...
+    acks = [e for e in result.tracer.flows(first_txn)
+            if e.text.startswith("ack")]
+    assert acks == []
+    # ...exactly three commit-protocol flows.
+    commit_flows = [e for e in result.tracer.flows(first_txn)
+                    if not e.text.startswith("data")]
+    assert len(commit_flows) == 3
+
+
+def test_figure8_no_acks_with_reliable_votes(figures):
+    result = figures[8]
+    flows = flow_sequence(result)
+    assert not any(f[2] == "ack" for f in flows)
+    votes = [f for f in flows if f[2] == "vote-yes"]
+    assert len(votes) == 2  # subordinate->cascaded, cascaded->coordinator
+
+
+def test_diagrams_mark_forced_writes(figures):
+    assert "*log prepared" in figures[1].diagram
+    assert "*log committed" in figures[1].diagram
+    assert "log end" in figures[1].diagram
+
+
+def test_transcript_contains_timestamps(figures):
+    transcript = figures[1].tracer.transcript(figures[1].txn_ids[0])
+    assert "[" in transcript and "->" in transcript

@@ -1,0 +1,68 @@
+"""Unit tests for the transaction handle."""
+
+from repro.core.handle import HeuristicReport, TransactionHandle
+
+
+def test_complete_sets_outcome_and_latency():
+    handle = TransactionHandle("t", started_at=1.0)
+    handle.complete("commit", at_time=4.5)
+    assert handle.done and handle.committed and not handle.aborted
+    assert handle.latency == 3.5
+
+
+def test_complete_is_idempotent():
+    handle = TransactionHandle("t", started_at=0.0)
+    handle.complete("commit", 1.0)
+    handle.complete("abort", 2.0)
+    assert handle.outcome == "commit"
+    assert handle.completed_at == 1.0
+
+
+def test_callbacks_fire_once_each():
+    handle = TransactionHandle("t", started_at=0.0)
+    calls = []
+    handle.on_done(lambda h: calls.append("before"))
+    handle.complete("abort", 1.0)
+    handle.on_done(lambda h: calls.append("after"))
+    assert calls == ["before", "after"]
+
+
+def test_outcome_pending_lifecycle():
+    handle = TransactionHandle("t", started_at=0.0)
+    handle.complete("commit", 5.0, outcome_pending=True)
+    assert handle.outcome_pending
+    handle.recovery_done(20.0)
+    assert not handle.outcome_pending
+    assert handle.recovery_completed_at == 20.0
+
+
+def test_heuristic_mixed_detection():
+    handle = TransactionHandle("t", started_at=0.0)
+    handle.heuristic_reports.append(
+        HeuristicReport(node="n", txn_id="t", decision="commit",
+                        outcome="commit"))
+    assert not handle.heuristic_mixed
+    handle.heuristic_reports.append(
+        HeuristicReport(node="n2", txn_id="t", decision="abort",
+                        outcome="commit"))
+    assert handle.heuristic_mixed
+
+
+def test_report_damaged_property():
+    clean = HeuristicReport("n", "t", "commit", "commit")
+    damaged = HeuristicReport("n", "t", "abort", "commit")
+    assert not clean.damaged
+    assert damaged.damaged
+
+
+def test_repr_mentions_status():
+    handle = TransactionHandle("t", started_at=0.0)
+    assert "pending" in repr(handle)
+    handle.complete("commit", 1.0, outcome_pending=True)
+    assert "commit" in repr(handle)
+    assert "outcome-pending" in repr(handle)
+
+
+def test_latency_none_until_done():
+    handle = TransactionHandle("t", started_at=0.0)
+    assert handle.latency is None

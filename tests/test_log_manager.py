@@ -1,0 +1,199 @@
+"""Unit tests for the log manager: forced/non-forced semantics, crash
+behaviour and the shared-log guarantee."""
+
+import pytest
+
+from repro.log.group_commit import GroupCommitPolicy
+from repro.log.manager import LogManager
+from repro.log.records import LogRecordType
+from repro.metrics.collector import MetricsCollector
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def log(simulator, metrics):
+    return LogManager(simulator, metrics, "node", io_latency=0.5)
+
+
+def test_non_forced_write_stays_in_buffer(log, simulator):
+    log.write("t", LogRecordType.END)
+    simulator.run()
+    assert log.buffered_count == 1
+    assert len(log.stable) == 0
+
+
+def test_forced_write_reaches_stable_after_io(log, simulator):
+    durable = []
+    log.write("t", LogRecordType.COMMITTED, force=True,
+              on_durable=lambda: durable.append(simulator.now))
+    assert len(log.stable) == 0  # not yet — I/O takes time
+    simulator.run()
+    assert durable == [0.5]
+    assert log.stable.has_record("t", LogRecordType.COMMITTED)
+
+
+def test_force_carries_earlier_non_forced_records(log, simulator):
+    """The property behind the shared-log optimization: a later force
+    flushes everything written before it."""
+    log.write("t", LogRecordType.LRM_PREPARED)
+    log.write("t", LogRecordType.COMMITTED, force=True)
+    simulator.run()
+    assert log.stable.has_record("t", LogRecordType.LRM_PREPARED)
+    assert log.stable.has_record("t", LogRecordType.COMMITTED)
+
+
+def test_on_durable_requires_force(log):
+    with pytest.raises(ValueError):
+        log.write("t", LogRecordType.END, on_durable=lambda: None)
+
+
+def test_crash_loses_buffer_and_inflight_io(log, simulator):
+    log.write("t", LogRecordType.LRM_UPDATE)
+    log.write("t", LogRecordType.PREPARED, force=True)
+    # Crash before the I/O completes.
+    lost = log.crash()
+    simulator.run()
+    assert lost == 2
+    assert len(log.stable) == 0
+
+
+def test_crash_preserves_stable_records(log, simulator):
+    log.write("t", LogRecordType.PREPARED, force=True)
+    simulator.run()
+    log.write("t", LogRecordType.COMMITTED)
+    log.crash()
+    records = log.recover()
+    assert [r.record_type for r in records] == [LogRecordType.PREPARED]
+
+
+def test_lsn_monotonic_across_recovery(log, simulator):
+    log.write("t", LogRecordType.PREPARED, force=True)
+    simulator.run()
+    log.crash()
+    log.recover()
+    record = log.write("t", LogRecordType.COMMITTED, force=True)
+    simulator.run()
+    lsns = [r.lsn for r in log.stable.records()]
+    assert lsns == sorted(lsns)
+    assert len(set(lsns)) == len(lsns)
+    assert record.lsn > 0
+
+
+def test_explicit_force_flushes_buffer(log, simulator):
+    log.write("t", LogRecordType.END)
+    called = []
+    log.force(on_durable=lambda: called.append(True))
+    simulator.run()
+    assert called == [True]
+    assert log.buffered_count == 0
+    assert len(log.stable) == 1
+
+
+def test_force_on_empty_log_still_calls_back(log, simulator):
+    called = []
+    log.force(on_durable=lambda: called.append(True))
+    simulator.run()
+    assert called == [True]
+
+
+def test_metrics_record_forced_flag(simulator, metrics):
+    log = LogManager(simulator, metrics, "n")
+    log.write("t", LogRecordType.PREPARED, force=True)
+    log.write("t", LogRecordType.END)
+    simulator.run()
+    assert metrics.forced_log_writes(node="n") == 1
+    assert metrics.total_log_writes(node="n") == 2
+
+
+def test_owner_attribution(simulator, metrics):
+    log = LogManager(simulator, metrics, "n")
+    log.write("t", LogRecordType.LRM_PREPARED, owner="n/rm1")
+    assert metrics.total_log_writes(node="n/rm1") == 1
+    assert metrics.total_log_writes(node="n") == 0
+
+
+def test_records_for_includes_buffered(log, simulator):
+    log.write("t1", LogRecordType.PREPARED, force=True)
+    log.write("t1", LogRecordType.END)
+    log.write("t2", LogRecordType.PREPARED, force=True)
+    simulator.run()
+    assert len(log.records_for("t1")) == 2
+    assert len(log.records_for("t2")) == 1
+
+
+def test_io_counted_per_force(simulator, metrics):
+    log = LogManager(simulator, metrics, "n", io_latency=0.1)
+    for i in range(3):
+        log.write(f"t{i}", LogRecordType.COMMITTED, force=True)
+        simulator.run()
+    assert metrics.physical_ios("n") == 3
+
+
+def test_write_hook_invoked(log):
+    seen = []
+    log.on_write.append(seen.append)
+    log.write("t", LogRecordType.END)
+    assert len(seen) == 1
+
+
+class TestGroupCommit:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            GroupCommitPolicy(group_size=0)
+        with pytest.raises(ValueError):
+            GroupCommitPolicy(timeout=-1.0)
+
+    def test_batches_forces_into_one_io(self, simulator, metrics):
+        log = LogManager(simulator, metrics, "n", io_latency=0.1,
+                         group_commit=GroupCommitPolicy(group_size=3,
+                                                        timeout=100.0))
+        done = []
+        for i in range(3):
+            log.write(f"t{i}", LogRecordType.COMMITTED, force=True,
+                      on_durable=lambda i=i: done.append(i))
+        simulator.run_until(1.0)
+        assert sorted(done) == [0, 1, 2]
+        assert metrics.physical_ios("n") == 1
+
+    def test_timeout_flushes_partial_group(self, simulator, metrics):
+        log = LogManager(simulator, metrics, "n", io_latency=0.1,
+                         group_commit=GroupCommitPolicy(group_size=10,
+                                                        timeout=2.0))
+        done = []
+        log.write("t", LogRecordType.COMMITTED, force=True,
+                  on_durable=lambda: done.append(simulator.now))
+        simulator.run()
+        assert done and done[0] == pytest.approx(2.1)
+        assert metrics.physical_ios("n") == 1
+
+    def test_requests_during_io_form_next_batch(self, simulator, metrics):
+        log = LogManager(simulator, metrics, "n", io_latency=1.0,
+                         group_commit=GroupCommitPolicy(group_size=2,
+                                                        timeout=50.0))
+        done = []
+        log.write("a", LogRecordType.COMMITTED, force=True,
+                  on_durable=lambda: done.append("a"))
+        log.write("b", LogRecordType.COMMITTED, force=True,
+                  on_durable=lambda: done.append("b"))
+        # Arrives while the first batch's I/O is in flight.
+        simulator.at(0.5, lambda: log.write(
+            "c", LogRecordType.COMMITTED, force=True,
+            on_durable=lambda: done.append("c")))
+        simulator.at(0.6, lambda: log.write(
+            "d", LogRecordType.COMMITTED, force=True,
+            on_durable=lambda: done.append("d")))
+        simulator.run()
+        assert done == ["a", "b", "c", "d"]
+        assert metrics.physical_ios("n") == 2
+
+    def test_io_savings_scale_with_group_size(self, simulator, metrics):
+        log = LogManager(simulator, metrics, "n", io_latency=0.01,
+                         group_commit=GroupCommitPolicy(group_size=5,
+                                                        timeout=10.0))
+        for i in range(20):
+            simulator.at(i * 0.001, lambda i=i: log.write(
+                f"t{i}", LogRecordType.COMMITTED, force=True))
+        simulator.run()
+        assert log.force_requests == 20
+        # 20 forces in groups of ~5: far fewer I/Os than forces.
+        assert metrics.physical_ios("n") <= 6

@@ -1,0 +1,74 @@
+"""Unit tests for stable storage."""
+
+import pytest
+
+from repro.log.records import LogRecord, LogRecordType
+from repro.log.storage import StableStorage
+
+
+def rec(lsn, txn="t", rtype=LogRecordType.PREPARED, **payload):
+    return LogRecord(lsn=lsn, txn_id=txn, record_type=rtype, node="n",
+                     forced=True, written_at=0.0, payload=payload)
+
+
+def test_append_and_read_back():
+    storage = StableStorage()
+    storage.append([rec(1), rec(2, rtype=LogRecordType.COMMITTED)])
+    assert len(storage) == 2
+    assert storage.durable_lsn == 2
+
+
+def test_out_of_order_append_rejected():
+    storage = StableStorage()
+    storage.append([rec(5)])
+    with pytest.raises(ValueError):
+        storage.append([rec(3)])
+
+
+def test_records_for_txn():
+    storage = StableStorage()
+    storage.append([rec(1, "a"), rec(2, "b"), rec(3, "a")])
+    assert len(storage.records_for("a")) == 2
+    assert storage.records_for("missing") == []
+
+
+def test_last_record_for_finds_most_recent():
+    storage = StableStorage()
+    storage.append([
+        rec(1, "t", LogRecordType.PREPARED),
+        rec(2, "t", LogRecordType.COMMITTED),
+        rec(3, "t", LogRecordType.END),
+    ])
+    assert storage.last_record_for("t").record_type is LogRecordType.END
+    assert storage.last_record_for(
+        "t", LogRecordType.COMMITTED).lsn == 2
+    assert storage.last_record_for("t", LogRecordType.ABORTED) is None
+
+
+def test_has_record():
+    storage = StableStorage()
+    storage.append([rec(1, "t", LogRecordType.COMMIT_PENDING)])
+    assert storage.has_record("t", LogRecordType.COMMIT_PENDING)
+    assert not storage.has_record("t", LogRecordType.COMMITTED)
+
+
+def test_records_returns_copy():
+    storage = StableStorage()
+    storage.append([rec(1)])
+    listing = storage.records()
+    listing.clear()
+    assert len(storage) == 1
+
+
+def test_empty_storage():
+    storage = StableStorage()
+    assert storage.durable_lsn == 0
+    assert storage.last_record_for("t") is None
+
+
+def test_record_payload_access():
+    record = rec(1, coordinator="c")
+    assert record.get("coordinator") == "c"
+    assert record.get("missing", "dflt") == "dflt"
+    assert "prepared" in record.describe()
+    assert record.describe().startswith("*")  # forced marker

@@ -1,0 +1,92 @@
+"""Unit tests for the versioned KV store."""
+
+from repro.lrm.kv import KVStore
+
+
+def test_write_then_commit_persists():
+    store = KVStore()
+    store.write("t", "k", 42)
+    store.commit("t")
+    assert store.get("k") == 42
+    assert store.commits == 1
+
+
+def test_abort_rolls_back_to_previous():
+    store = KVStore({"k": 1})
+    store.write("t", "k", 2)
+    store.write("t", "k", 3)
+    store.abort("t")
+    assert store.get("k") == 1
+    assert store.aborts == 1
+
+
+def test_abort_removes_newly_created_key():
+    store = KVStore()
+    store.write("t", "new", "value")
+    store.abort("t")
+    assert store.get("new") is None
+    assert len(store) == 0
+
+
+def test_abort_restores_deleted_key():
+    store = KVStore({"k": "original"})
+    store.delete("t", "k")
+    assert store.get("k") is None
+    store.abort("t")
+    assert store.get("k") == "original"
+
+
+def test_delete_missing_key_is_noop():
+    store = KVStore()
+    store.delete("t", "ghost")
+    store.abort("t")
+    assert len(store) == 0
+
+
+def test_independent_transactions_do_not_interfere():
+    store = KVStore()
+    store.write("t1", "a", 1)
+    store.write("t2", "b", 2)
+    store.abort("t1")
+    store.commit("t2")
+    assert store.get("a") is None
+    assert store.get("b") == 2
+
+
+def test_read_sees_own_uncommitted_write():
+    store = KVStore({"k": "old"})
+    store.write("t", "k", "new")
+    assert store.read("t", "k") == "new"
+
+
+def test_has_uncommitted():
+    store = KVStore()
+    assert not store.has_uncommitted("t")
+    store.write("t", "k", 1)
+    assert store.has_uncommitted("t")
+    store.commit("t")
+    assert not store.has_uncommitted("t")
+
+
+def test_redo_write_applies_directly():
+    store = KVStore()
+    store.redo_write("k", 99)
+    assert store.get("k") == 99
+    assert not store.has_uncommitted("recovery")
+
+
+def test_snapshot_is_a_copy():
+    store = KVStore({"k": 1})
+    snapshot = store.snapshot()
+    snapshot["k"] = 2
+    assert store.get("k") == 1
+
+
+def test_interleaved_writes_rollback_in_reverse_order():
+    store = KVStore({"k": "v0"})
+    store.write("t", "k", "v1")
+    store.write("t", "j", "w1")
+    store.write("t", "k", "v2")
+    store.abort("t")
+    assert store.get("k") == "v0"
+    assert store.get("j") is None

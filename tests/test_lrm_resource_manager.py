@@ -1,0 +1,215 @@
+"""Unit tests for the resource manager (2PC local participant)."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.log.manager import LogManager
+from repro.log.records import LogRecordType
+from repro.lrm.operations import read_op, write_op
+from repro.lrm.resource_manager import ResourceManager, Vote
+from repro.metrics.collector import MetricsCollector
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def env(simulator, metrics):
+    log = LogManager(simulator, metrics, "node", io_latency=0.1)
+    return simulator, metrics, log
+
+
+def make_rm(env, **kwargs):
+    simulator, metrics, log = env
+    return ResourceManager("rm", "node", simulator, metrics, log, **kwargs)
+
+
+def run_ops(simulator, rm, txn, ops):
+    done = []
+    rm.perform(txn, ops, on_done=lambda: done.append(True))
+    simulator.run()
+    assert done
+
+
+def prepare(simulator, rm, txn, allow_read_only=True):
+    votes = []
+    rm.prepare(txn, votes.append, allow_read_only=allow_read_only)
+    simulator.run()
+    assert len(votes) == 1
+    return votes[0]
+
+
+class TestDataPhase:
+    def test_reads_and_writes_under_locks(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        run_ops(simulator, rm, "t", [write_op("k", 5), read_op("k")])
+        assert rm.store.read("t", "k") == 5
+        assert rm.has_updates("t")
+        assert rm.keys_touched("t") == {"k"}
+
+    def test_wal_record_written_per_update(self, env):
+        simulator, metrics, __ = env
+        rm = make_rm(env)
+        run_ops(simulator, rm, "t", [write_op("a", 1), write_op("b", 2)])
+        assert metrics.total_log_writes(include_data=True) == 2
+        assert metrics.total_log_writes() == 0  # protocol records only
+
+    def test_deadlock_reported_via_callback(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        errors = []
+        run_ops(simulator, rm, "t1", [write_op("a", 1)])
+        run_ops(simulator, rm, "t2", [write_op("b", 1)])
+        rm.perform("t1", [write_op("b", 2)], on_done=lambda: None)
+        rm.perform("t2", [write_op("a", 2)], on_done=lambda: None,
+                   on_error=errors.append)
+        simulator.run()
+        assert len(errors) == 1
+        assert isinstance(errors[0], DeadlockError)
+
+    def test_work_after_prepare_rejected(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        run_ops(simulator, rm, "t", [write_op("a", 1)])
+        prepare(simulator, rm, "t")
+        with pytest.raises(RuntimeError):
+            rm.perform("t", [write_op("b", 2)], on_done=lambda: None)
+
+
+class TestIntegratedVoting:
+    def test_updater_votes_yes_and_keeps_locks(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        run_ops(simulator, rm, "t", [write_op("k", 1)])
+        assert prepare(simulator, rm, "t") is Vote.YES
+        assert rm.locks.holds("t", "k")
+
+    def test_reader_votes_read_only_and_releases(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        run_ops(simulator, rm, "t", [read_op("k")])
+        assert prepare(simulator, rm, "t") is Vote.READ_ONLY
+        assert not rm.locks.holds("t", "k")
+        assert rm.is_finished("t")
+
+    def test_reader_votes_yes_when_read_only_disabled(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        run_ops(simulator, rm, "t", [read_op("k")])
+        assert prepare(simulator, rm, "t",
+                       allow_read_only=False) is Vote.YES
+        assert rm.locks.holds("t", "k")  # baseline keeps 2PL locks
+
+    def test_veto_votes_no_and_rolls_back(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        run_ops(simulator, rm, "t", [write_op("k", 1)])
+        rm.veto_txns.add("t")
+        assert prepare(simulator, rm, "t") is Vote.NO
+        assert rm.store.get("k") is None
+        assert not rm.locks.holds("t", "k")
+
+    def test_commit_applies_and_releases(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        run_ops(simulator, rm, "t", [write_op("k", 1)])
+        prepare(simulator, rm, "t")
+        done = []
+        rm.commit("t", on_done=lambda: done.append(True))
+        simulator.run()
+        assert done and rm.store.get("k") == 1
+        assert not rm.locks.holds("t", "k")
+
+    def test_abort_undoes_and_releases(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        rm.store.redo_write("k", "old")
+        run_ops(simulator, rm, "t", [write_op("k", "new")])
+        prepare(simulator, rm, "t")
+        rm.abort("t")
+        simulator.run()
+        assert rm.store.get("k") == "old"
+
+    def test_integrated_mode_writes_no_protocol_records(self, env):
+        simulator, metrics, __ = env
+        rm = make_rm(env)
+        run_ops(simulator, rm, "t", [write_op("k", 1)])
+        prepare(simulator, rm, "t")
+        rm.commit("t")
+        simulator.run()
+        assert metrics.total_log_writes() == 0
+
+
+class TestDetachedVoting:
+    def test_own_log_forces_prepared_and_committed(self, env):
+        simulator, metrics, __ = env
+        rm = make_rm(env, detached=True, shares_tm_log=False)
+        run_ops(simulator, rm, "t", [write_op("k", 1)])
+        assert prepare(simulator, rm, "t") is Vote.YES
+        rm.commit("t")
+        simulator.run()
+        assert metrics.total_log_writes(node="node/rm") == 3
+        assert metrics.forced_log_writes(node="node/rm") == 2
+
+    def test_shared_log_forces_nothing(self, env):
+        simulator, metrics, __ = env
+        rm = make_rm(env, detached=True, shares_tm_log=True)
+        run_ops(simulator, rm, "t", [write_op("k", 1)])
+        assert prepare(simulator, rm, "t") is Vote.YES
+        rm.commit("t")
+        simulator.run()
+        assert metrics.total_log_writes(node="node/rm") == 3
+        assert metrics.forced_log_writes(node="node/rm") == 0
+
+    def test_local_flows_counted(self, env):
+        simulator, metrics, __ = env
+        rm = make_rm(env, detached=True)
+        run_ops(simulator, rm, "t", [write_op("k", 1)])
+        prepare(simulator, rm, "t")
+        rm.commit("t")
+        simulator.run()
+        kinds = metrics.local_flows.group_by("kind")
+        assert kinds == {"prepare": 1, "vote": 1, "commit": 1, "ack": 1}
+
+    def test_detached_abort_records(self, env):
+        simulator, metrics, __ = env
+        rm = make_rm(env, detached=True, shares_tm_log=False)
+        run_ops(simulator, rm, "t", [write_op("k", 1)])
+        prepare(simulator, rm, "t")
+        rm.abort("t")
+        simulator.run()
+        by_type = metrics.log_writes.group_by("record_type",
+                                              node="node/rm")
+        assert by_type.get("lrm-aborted") == 1
+
+
+class TestCrashRecovery:
+    def test_crash_resets_volatile_state(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        run_ops(simulator, rm, "t", [write_op("k", 1)])
+        rm.crash()
+        assert rm.store.get("k") is None
+        assert not rm.locks.holds("t", "k")
+
+    def test_redo_and_relock(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        rm.redo("t", "k", 7)
+        rm.relock("t", {"k"})
+        simulator.run()
+        assert rm.store.get("k") == 7
+        assert rm.locks.holds("t", "k")
+
+    def test_resolve_in_doubt_commit_releases(self, env):
+        simulator, __, __log = env
+        rm = make_rm(env)
+        rm.redo("t", "k", 7)
+        rm.relock("t", {"k"})
+        simulator.run()
+        rm.resolve_in_doubt("t", commit=True)
+        assert not rm.locks.holds("t", "k")
+        assert rm.store.get("k") == 7
+
+    def test_reliable_flag_exposed(self, env):
+        rm = make_rm(env, reliable=True)
+        assert rm.reliable

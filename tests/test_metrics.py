@@ -1,0 +1,133 @@
+"""Unit tests for counters and the metrics collector."""
+
+import pytest
+
+from repro.metrics.collector import (
+    CostSummary,
+    HeuristicEvent,
+    MetricsCollector,
+    TransactionRecord,
+)
+from repro.metrics.counters import TaggedCounter
+
+
+class TestTaggedCounter:
+    def test_requires_dimensions(self):
+        with pytest.raises(ValueError):
+            TaggedCounter(())
+
+    def test_add_and_total(self):
+        counter = TaggedCounter(("phase", "type"))
+        counter.add(("commit", "prepare"))
+        counter.add(("commit", "prepare"), 2)
+        counter.add(("data", "enroll"))
+        assert counter.total() == 4
+        assert counter.total(phase="commit") == 3
+        assert counter.total(phase="commit", type="prepare") == 3
+
+    def test_key_arity_checked(self):
+        counter = TaggedCounter(("a", "b"))
+        with pytest.raises(ValueError):
+            counter.add(("only-one",))
+
+    def test_unknown_dimension_rejected(self):
+        counter = TaggedCounter(("a",))
+        counter.add(("x",))
+        with pytest.raises(ValueError):
+            counter.total(bogus="x")
+
+    def test_group_by(self):
+        counter = TaggedCounter(("phase", "node"))
+        counter.add(("commit", "a"), 2)
+        counter.add(("commit", "b"), 3)
+        counter.add(("data", "a"), 7)
+        assert counter.group_by("node", phase="commit") == {"a": 2, "b": 3}
+
+    def test_diff_reports_increments_only(self):
+        counter = TaggedCounter(("k",))
+        counter.add(("x",), 2)
+        snapshot = counter.snapshot()
+        counter.add(("x",))
+        counter.add(("y",), 5)
+        delta = counter.diff(snapshot)
+        assert delta.total(k="x") == 1
+        assert delta.total(k="y") == 5
+
+
+class TestMetricsCollector:
+    def test_commit_flows_filters_phase(self, metrics):
+        metrics.record_flow("commit", "prepare", "c", "t1")
+        metrics.record_flow("data", "data", "c", "t1")
+        metrics.record_flow("recovery", "outcome", "c", "t1")
+        assert metrics.commit_flows() == 1
+        assert metrics.data_flows() == 1
+        assert metrics.recovery_flows() == 1
+
+    def test_log_writes_exclude_data_records(self, metrics):
+        metrics.record_log_write("n", "prepared", True, "t1")
+        metrics.record_log_write("n", "lrm-update", False, "t1")
+        metrics.record_log_write("n", "end", False, "t1")
+        assert metrics.total_log_writes() == 2
+        assert metrics.total_log_writes(include_data=True) == 3
+        assert metrics.forced_log_writes() == 1
+
+    def test_cost_summary_per_txn(self, metrics):
+        metrics.record_flow("commit", "prepare", "c", "t1")
+        metrics.record_flow("commit", "prepare", "c", "t2")
+        metrics.record_log_write("n", "committed", True, "t1")
+        summary = metrics.cost_summary("t1")
+        assert summary.as_tuple() == (1, 1, 1)
+
+    def test_node_costs_split_roles(self, metrics):
+        metrics.record_flow("commit", "prepare", "coord", "t")
+        metrics.record_flow("commit", "vote-yes", "sub", "t")
+        metrics.record_log_write("sub", "prepared", True, "t")
+        assert metrics.node_costs("coord", "t").flows == 1
+        assert metrics.node_costs("sub", "t").as_tuple() == (1, 1, 1)
+
+    def test_lock_hold_stats(self, metrics):
+        metrics.record_lock_hold(2.0)
+        metrics.record_lock_hold(4.0)
+        assert metrics.mean_lock_hold() == pytest.approx(3.0)
+        assert metrics.max_lock_hold() == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            metrics.record_lock_hold(-1.0)
+
+    def test_empty_stats_are_zero(self, metrics):
+        assert metrics.mean_lock_hold() == 0.0
+        assert metrics.max_lock_hold() == 0.0
+        assert metrics.mean_latency() == 0.0
+
+    def test_heuristic_event_filtering(self, metrics):
+        damaged = HeuristicEvent("n1", "t", "commit", 1.0, damaged=True)
+        clean = HeuristicEvent("n2", "t", "commit", 1.0, damaged=False)
+        metrics.record_heuristic(damaged)
+        metrics.record_heuristic(clean)
+        assert metrics.damaged_heuristics() == [damaged]
+
+    def test_transaction_latency(self, metrics):
+        metrics.record_transaction(TransactionRecord(
+            txn_id="t", outcome="commit", started_at=1.0, finished_at=5.0))
+        assert metrics.mean_latency() == pytest.approx(4.0)
+
+    def test_snapshot_windowing(self, metrics):
+        metrics.record_flow("commit", "prepare", "c", "t1")
+        snap = metrics.snapshot()
+        metrics.record_flow("commit", "commit", "c", "t1")
+        window = metrics.since(snap)
+        assert window.commit_flows() == 1
+
+    def test_physical_io_counting(self, metrics):
+        metrics.record_log_io("n1")
+        metrics.record_log_io("n1")
+        metrics.record_log_io("n2")
+        assert metrics.physical_ios() == 3
+        assert metrics.physical_ios("n1") == 2
+
+
+class TestCostSummary:
+    def test_tuple_and_str(self):
+        summary = CostSummary(4, 5, 3)
+        assert summary.as_tuple() == (4, 5, 3)
+        assert "4 flows" in str(summary)
+        assert "3 forced" in str(summary)

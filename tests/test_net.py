@@ -1,0 +1,219 @@
+"""Unit tests for messages, latency models and the network."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.latency import (
+    ConstantLatency,
+    PerLinkLatency,
+    SatelliteLink,
+    UniformLatency,
+)
+from repro.net.message import Message, MessageType, Phase
+from repro.net.network import Network, NetworkError
+from repro.sim.kernel import Simulator
+from repro.sim.randomness import RandomStream
+
+
+def make_net(latency=None):
+    simulator = Simulator(seed=1)
+    metrics = MetricsCollector()
+    network = Network(simulator, metrics, latency)
+    return simulator, metrics, network
+
+
+def msg(src, dst, msg_type=MessageType.PREPARE, txn="t1", **kwargs):
+    return Message(msg_type=msg_type, txn_id=txn, src=src, dst=dst, **kwargs)
+
+
+class TestMessage:
+    def test_phase_defaults_from_type(self):
+        assert msg("a", "b", MessageType.PREPARE).phase is Phase.COMMIT
+        assert msg("a", "b", MessageType.DATA).phase is Phase.DATA
+        assert msg("a", "b", MessageType.INQUIRE).phase is Phase.RECOVERY
+
+    def test_explicit_phase_wins(self):
+        message = msg("a", "b", MessageType.COMMIT, phase=Phase.RECOVERY)
+        assert message.phase is Phase.RECOVERY
+
+    def test_describe_includes_flags(self):
+        message = msg("a", "b", flags={"reliable": True, "off": False})
+        assert "reliable" in message.describe()
+        assert "off" not in message.describe()
+
+    def test_msg_ids_unique(self):
+        assert msg("a", "b").msg_id != msg("a", "b").msg_id
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(2.5)
+        assert model.latency("a", "b", RandomStream(0)) == 2.5
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_in_range(self):
+        model = UniformLatency(1.0, 2.0)
+        rng = RandomStream(0)
+        for __ in range(50):
+            assert 1.0 <= model.latency("a", "b", rng) <= 2.0
+
+    def test_per_link_symmetric_default(self):
+        model = PerLinkLatency(default=1.0).set_link("a", "b", 9.0)
+        rng = RandomStream(0)
+        assert model.latency("a", "b", rng) == 9.0
+        assert model.latency("b", "a", rng) == 9.0
+        assert model.latency("a", "c", rng) == 1.0
+
+    def test_per_link_asymmetric(self):
+        model = PerLinkLatency().set_link("a", "b", 9.0, symmetric=False)
+        rng = RandomStream(0)
+        assert model.latency("a", "b", rng) == 9.0
+        assert model.latency("b", "a", rng) == model.default
+
+    def test_satellite_link(self):
+        model = SatelliteLink("far", slow_delay=50.0, fast_delay=1.0)
+        rng = RandomStream(0)
+        assert model.latency("a", "far", rng) == 50.0
+        assert model.latency("far", "a", rng) == 50.0
+        assert model.latency("a", "b", rng) == 1.0
+
+
+class TestNetwork:
+    def test_delivery_after_latency(self):
+        simulator, __, network = make_net(ConstantLatency(3.0))
+        seen = []
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: seen.append(simulator.now))
+        network.send(msg("a", "b"))
+        simulator.run()
+        assert seen == [3.0]
+
+    def test_unknown_node_rejected(self):
+        __, __, network = make_net()
+        network.register("a", lambda m: None)
+        with pytest.raises(NetworkError):
+            network.send(msg("a", "ghost"))
+
+    def test_duplicate_registration_rejected(self):
+        __, __, network = make_net()
+        network.register("a", lambda m: None)
+        with pytest.raises(NetworkError):
+            network.register("a", lambda m: None)
+
+    def test_partition_drops_and_counts(self):
+        simulator, metrics, network = make_net()
+        seen = []
+        network.register("a", lambda m: None)
+        network.register("b", seen.append)
+        network.partition("a", "b")
+        assert network.send(msg("a", "b")) is False
+        simulator.run()
+        assert seen == []
+        # The flow is still counted (sender paid for it) ...
+        assert metrics.commit_flows() == 1
+        # ... and the drop recorded.
+        assert metrics.drops.total(reason="partition") == 1
+
+    def test_partition_formed_in_flight_loses_message(self):
+        simulator, metrics, network = make_net(ConstantLatency(5.0))
+        seen = []
+        network.register("a", lambda m: None)
+        network.register("b", seen.append)
+        network.send(msg("a", "b"))
+        simulator.at(1.0, lambda: network.partition("a", "b"))
+        simulator.run()
+        assert seen == []
+
+    def test_heal_restores_link(self):
+        simulator, __, network = make_net()
+        seen = []
+        network.register("a", lambda m: None)
+        network.register("b", seen.append)
+        network.partition("a", "b")
+        network.heal("a", "b")
+        network.send(msg("a", "b"))
+        simulator.run()
+        assert len(seen) == 1
+
+    def test_crashed_destination_drops(self):
+        simulator, metrics, network = make_net()
+        alive = {"up": True}
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: None, alive=lambda: alive["up"])
+        alive["up"] = False
+        network.send(msg("a", "b"))
+        simulator.run()
+        assert metrics.drops.total(reason="crashed") == 1
+
+    def test_drop_filter_suppresses_without_counting_flow(self):
+        simulator, metrics, network = make_net()
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: None)
+        network.set_drop_filter(
+            lambda m: m.msg_type is MessageType.COMMIT)
+        assert network.send(msg("a", "b", MessageType.COMMIT)) is False
+        assert network.send(msg("a", "b", MessageType.PREPARE)) is True
+        simulator.run()
+        assert metrics.commit_flows() == 1
+        assert metrics.drops.total(reason="injected") == 1
+
+    def test_send_hook_invoked(self):
+        simulator, __, network = make_net()
+        hooked = []
+        network.on_send.append(hooked.append)
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: None)
+        network.send(msg("a", "b"))
+        assert len(hooked) == 1
+
+    def test_heal_all(self):
+        __, __, network = make_net()
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: None)
+        network.partition("a", "b")
+        network.heal_all()
+        assert not network.is_partitioned("a", "b")
+
+    def test_fifo_sessions_never_reorder(self):
+        """LU 6.2 conversations are FIFO: jittered latency must not let
+        a later message overtake an earlier one on the same link."""
+        simulator, __, network = make_net(UniformLatency(0.1, 10.0))
+        received = []
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: received.append(m.flags["n"]))
+        for n in range(20):
+            network.send(msg("a", "b", flags={"n": n}))
+        simulator.run()
+        assert received == list(range(20))
+
+    def test_fifo_disabled_can_reorder(self):
+        simulator, metrics, __ = (None, None, None)
+        from repro.sim.kernel import Simulator as Sim
+        from repro.metrics.collector import MetricsCollector as MC
+        sim = Sim(seed=1)
+        mc = MC()
+        network = Network(sim, mc, UniformLatency(0.1, 10.0), fifo=False)
+        received = []
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: received.append(m.flags["n"]))
+        for n in range(20):
+            network.send(msg("a", "b", flags={"n": n}))
+        sim.run()
+        assert sorted(received) == list(range(20))
+        assert received != list(range(20))  # jitter reordered something
+
+    def test_fifo_independent_per_direction_and_link(self):
+        simulator, __, network = make_net(UniformLatency(0.1, 10.0))
+        received = {"b": [], "c": []}
+        network.register("a", lambda m: None)
+        network.register("b", lambda m: received["b"].append(m.flags["n"]))
+        network.register("c", lambda m: received["c"].append(m.flags["n"]))
+        for n in range(10):
+            network.send(msg("a", "b", flags={"n": n}))
+            network.send(msg("a", "c", flags={"n": n}))
+        simulator.run()
+        assert received["b"] == list(range(10))
+        assert received["c"] == list(range(10))

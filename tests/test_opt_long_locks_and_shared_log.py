@@ -1,0 +1,189 @@
+"""Long Locks and Shared Logs (§4)."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import PRESUMED_ABORT
+from repro.core.spec import ParticipantSpec, TransactionSpec, flat_tree
+from repro.lrm.operations import write_op
+from repro.net.message import MessageType
+from repro.workload.chains import chained_transaction_specs
+
+from tests.conftest import updating_spec
+
+
+class TestLongLocks:
+    def config(self):
+        return PRESUMED_ABORT.with_options(long_locks=True)
+
+    def run_chain(self, cluster, r, **kwargs):
+        specs = chained_transaction_specs(r, "a", "b", **kwargs)
+        handles = [cluster.run_transaction(s) for s in specs]
+        return specs, handles
+
+    def test_three_flows_per_transaction(self):
+        cluster = Cluster(self.config(), nodes=["a", "b"])
+        specs, __ = self.run_chain(cluster, 4, long_locks=True)
+        for spec in specs:
+            assert cluster.metrics.commit_flows(txn=spec.txn_id) == 3
+
+    def test_ack_rides_next_transactions_first_message(self):
+        cluster = Cluster(self.config(), nodes=["a", "b"])
+        piggybacked = []
+        cluster.network.on_send.append(
+            lambda m: piggybacked.extend(m.payload.get("piggyback", [])))
+        self.run_chain(cluster, 2, long_locks=True)
+        assert any(p.msg_type is MessageType.ACK for p in piggybacked)
+
+    def test_coordinator_handle_waits_for_piggybacked_ack(self):
+        """The commit operation at the coordinator completes only when
+        the deferred ack arrives — the lock-stretch cost."""
+        cluster = Cluster(self.config(), nodes=["a", "b"])
+        spec = TransactionSpec(participants=[
+            ParticipantSpec(node="a", ops=[write_op("x", 1)]),
+            ParticipantSpec(node="b", parent="a", ops=[write_op("y", 1)])],
+            long_locks=True)
+        handle = cluster.run_transaction(spec)
+        assert not handle.done  # ack still buffered at b
+        assert cluster.pending_deferred() == 1
+        cluster.send_application_data("b", "a")
+        assert handle.done and handle.committed
+
+    def test_lock_hold_stretch_measured(self):
+        """Table 1: long locks keep the coordinator's resources locked
+        longer than the plain protocol."""
+        def coordinator_hold(config, long_locks):
+            cluster = Cluster(config, nodes=["a", "b"])
+            spec = TransactionSpec(participants=[
+                ParticipantSpec(node="a", ops=[write_op("x", 1)]),
+                ParticipantSpec(node="b", parent="a",
+                                ops=[write_op("y", 1)])],
+                long_locks=long_locks)
+            release_time = {}
+            locks = cluster.node("a").default_rm.locks
+            original = locks.release_all
+
+            def spy(txn_id):
+                release_time[txn_id] = cluster.simulator.now
+                original(txn_id)
+
+            locks.release_all = spy
+            cluster.run_transaction(spec)
+            # Next transaction's first message arrives 5 time units later.
+            cluster.simulator.run_until(cluster.simulator.now + 5)
+            cluster.send_application_data("b", "a")
+            return release_time[spec.txn_id]
+
+        plain = coordinator_hold(PRESUMED_ABORT, long_locks=False)
+        stretched = coordinator_hold(self.config(), long_locks=True)
+        assert stretched > plain
+
+    def test_paired_last_agent_three_steps_per_pair(self):
+        config = self.config().with_options(last_agent=True)
+        cluster = Cluster(config, nodes=["a", "b"])
+        specs = chained_transaction_specs(4, "a", "b",
+                                          last_agent_pairs=True)
+        for spec in specs:
+            cluster.run_transaction(spec)
+        cluster.send_application_data("a", "b")
+        cluster.send_application_data("b", "a")
+        cluster.finalize_implied_acks()
+        total = sum(cluster.metrics.commit_flows(txn=s.txn_id)
+                    for s in specs)
+        assert total == 6  # 3 flows per pair of transactions
+
+    def test_dangling_ack_is_the_documented_hazard(self):
+        """Table 1: 'no messages flow for the next transaction' is an
+        application design problem — the deferred ack simply waits."""
+        cluster = Cluster(self.config(), nodes=["a", "b"])
+        spec = TransactionSpec(participants=[
+            ParticipantSpec(node="a", ops=[write_op("x", 1)]),
+            ParticipantSpec(node="b", parent="a", ops=[write_op("y", 1)])],
+            long_locks=True)
+        handle = cluster.run_transaction(spec)
+        assert cluster.pending_deferred() == 1
+        assert not handle.done
+        # flush_deferred models the application finally sending data.
+        assert cluster.node("b").flush_deferred("a") == 1
+        cluster.run()
+        assert handle.done
+
+
+class TestSharedLog:
+    def build(self, shared: bool):
+        config = PRESUMED_ABORT.with_options(shared_log=shared)
+        cluster = Cluster(config, nodes=["host"])
+        cluster.node("host").add_detached_rm("db", own_log=not shared)
+        spec = flat_tree("host", [])
+        spec.participant("host").rm_ops["db"] = [write_op("k", 1)]
+        return cluster, spec
+
+    def test_shared_log_saves_two_forces(self):
+        shared_cluster, shared_spec = self.build(shared=True)
+        shared_cluster.run_transaction(shared_spec)
+        own_cluster, own_spec = self.build(shared=False)
+        own_cluster.run_transaction(own_spec)
+        shared_forced = shared_cluster.metrics.forced_log_writes(
+            node="host/db", txn=shared_spec.txn_id)
+        own_forced = own_cluster.metrics.forced_log_writes(
+            node="host/db", txn=own_spec.txn_id)
+        assert own_forced - shared_forced == 2
+
+    def test_lrm_records_ride_tm_force(self):
+        """The TM's commit force makes the LRM's earlier non-forced
+        prepared record durable."""
+        cluster, spec = self.build(shared=True)
+        cluster.run_transaction(spec)
+        stable = cluster.node("host").log.stable
+        assert stable.has_record(spec.txn_id,
+                                 __import__("repro.log.records",
+                                            fromlist=["LogRecordType"]
+                                            ).LogRecordType.LRM_PREPARED)
+
+    def test_crash_before_commit_force_loses_both_consistently(self):
+        """§4: if the system fails before the commit is forced, the
+        prepared record may be lost — and the transaction aborts, so
+        nothing is inconsistent."""
+        cluster, spec = self.build(shared=True)
+        node = cluster.node("host")
+        # Crash as soon as the LRM votes (before the TM's commit force
+        # completes).
+        original_write = node.log.write
+        crashed = []
+
+        def crash_after_committed(*args, **kwargs):
+            record = original_write(*args, **kwargs)
+            if record.record_type.value == "committed" and not crashed:
+                crashed.append(True)
+                cluster.simulator.call_soon(node.crash)
+            return record
+
+        node.log.write = crash_after_committed
+        handle = cluster.start_transaction(spec)
+        cluster.run_until(50.0)
+        assert crashed
+        # The commit force never completed: neither the LRM prepared
+        # nor the TM committed record survived.
+        stable = node.log.stable
+        assert len(stable.records_for(spec.txn_id)) == 0
+        node.log.write = original_write
+        cluster.restart("host")
+        cluster.run_until(100.0)
+        # Recovery finds nothing: the transaction is a loser; no data.
+        assert cluster.value("host", "k", rm_name="db") is None
+        del handle
+
+    def test_multiple_lrms_share_one_log(self):
+        config = PRESUMED_ABORT.with_options(shared_log=True)
+        cluster = Cluster(config, nodes=["host"])
+        for i in range(3):
+            cluster.node("host").add_detached_rm(f"db{i}")
+        spec = flat_tree("host", [])
+        for i in range(3):
+            spec.participant("host").rm_ops[f"db{i}"] = [write_op("k", i)]
+        handle = cluster.run_transaction(spec)
+        assert handle.committed
+        # 2 forced saves per sharing LRM: zero forced among all LRMs.
+        for i in range(3):
+            assert cluster.metrics.forced_log_writes(
+                node=f"host/db{i}", txn=spec.txn_id) == 0

@@ -1,0 +1,180 @@
+"""Unsolicited Vote and OK-TO-LEAVE-OUT (§4)."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import PRESUMED_ABORT
+from repro.core.spec import ParticipantSpec, TransactionSpec, flat_tree
+from repro.lrm.operations import read_op, write_op
+from repro.net.message import MessageType
+
+from tests.conftest import updating_spec
+
+
+class TestUnsolicitedVote:
+    def config(self):
+        return PRESUMED_ABORT.with_options(unsolicited_vote=True)
+
+    def test_no_prepare_flow_to_unsolicited_participant(self):
+        cluster = Cluster(self.config(), nodes=["c", "s"])
+        spec = updating_spec("c", ["s"])
+        spec.participant("s").unsolicited_vote = True
+        handle = cluster.run_transaction(spec)
+        assert handle.committed
+        prepares = cluster.metrics.flows.total(
+            msg_type=MessageType.PREPARE.value, txn=spec.txn_id)
+        assert prepares == 0
+
+    def test_saves_exactly_m_flows(self):
+        nodes = ["c", "s1", "s2", "s3"]
+        base = Cluster(PRESUMED_ABORT, nodes=nodes)
+        base_spec = updating_spec("c", nodes[1:])
+        base.run_transaction(base_spec)
+
+        optimized = Cluster(self.config(), nodes=nodes)
+        opt_spec = updating_spec("c", nodes[1:])
+        opt_spec.participant("s1").unsolicited_vote = True
+        opt_spec.participant("s2").unsolicited_vote = True
+        optimized.run_transaction(opt_spec)
+
+        assert (base.metrics.commit_flows(txn=base_spec.txn_id)
+                - optimized.metrics.commit_flows(txn=opt_spec.txn_id)) == 2
+
+    def test_vote_arrives_before_commit_initiation(self):
+        """The unsolicited voter prepares itself as soon as its work
+        completes — before the coordinator asks anything."""
+        cluster = Cluster(self.config(), nodes=["c", "s"])
+        spec = updating_spec("c", ["s"])
+        spec.participant("s").unsolicited_vote = True
+        order = []
+        cluster.network.on_send.append(
+            lambda m: order.append(m.msg_type))
+        cluster.run_transaction(spec)
+        vote_index = order.index(MessageType.VOTE_YES)
+        commit_index = order.index(MessageType.COMMIT)
+        assert vote_index < commit_index
+        assert MessageType.PREPARE not in order
+
+    def test_unsolicited_vote_carries_flag(self):
+        cluster = Cluster(self.config(), nodes=["c", "s"])
+        spec = updating_spec("c", ["s"])
+        spec.participant("s").unsolicited_vote = True
+        flagged = []
+        cluster.network.on_send.append(
+            lambda m: flagged.append(m.flag("unsolicited"))
+            if m.msg_type is MessageType.VOTE_YES else None)
+        cluster.run_transaction(spec)
+        assert flagged == [True]
+
+    def test_unsolicited_read_only_participant(self):
+        cluster = Cluster(self.config(), nodes=["c", "s"])
+        spec = flat_tree("c", ["s"])
+        spec.participant("c").ops.append(write_op("k", 1))
+        spec.participant("s").ops.append(read_op("x"))
+        spec.participant("s").unsolicited_vote = True
+        handle = cluster.run_transaction(spec)
+        assert handle.committed
+        assert cluster.metrics.total_log_writes(node="s",
+                                                txn=spec.txn_id) == 0
+
+    def test_unsolicited_participant_forces_prepared(self):
+        cluster = Cluster(self.config(), nodes=["c", "s"])
+        spec = updating_spec("c", ["s"])
+        spec.participant("s").unsolicited_vote = True
+        cluster.run_transaction(spec)
+        assert cluster.metrics.forced_log_writes(node="s",
+                                                 txn=spec.txn_id) == 2
+
+
+class TestLeaveOut:
+    def config(self):
+        return PRESUMED_ABORT.with_options(leave_out=True)
+
+    def warmed_cluster(self, offer=True):
+        cluster = Cluster(self.config(), nodes=["c", "s1", "s2"])
+        warmup = updating_spec("c", ["s1", "s2"])
+        warmup.participant("s1").ok_to_leave_out = offer
+        cluster.run_transaction(warmup)
+        return cluster
+
+    def test_left_out_partner_costs_nothing(self):
+        cluster = self.warmed_cluster()
+        spec = updating_spec("c", ["s2"])
+        handle = cluster.run_transaction(spec)
+        assert handle.committed
+        assert cluster.metrics.commit_flows(src="s1", txn=spec.txn_id) == 0
+        assert cluster.metrics.total_log_writes(node="s1",
+                                                txn=spec.txn_id) == 0
+
+    def test_without_offer_partner_is_swept_in(self):
+        cluster = self.warmed_cluster(offer=False)
+        spec = updating_spec("c", ["s2"])
+        cluster.run_transaction(spec)
+        # s1 is an inactive participant: it gets a prepare and votes
+        # (read-only, since it did no work).
+        assert cluster.metrics.commit_flows(src="s1", txn=spec.txn_id) == 1
+
+    def test_offer_is_a_protected_variable(self):
+        """§4: the OK-TO-LEAVE-OUT value takes effect only if the
+        transaction commits."""
+        cluster = Cluster(self.config(), nodes=["c", "s1", "s2"])
+        warmup = updating_spec("c", ["s1", "s2"])
+        warmup.participant("s1").ok_to_leave_out = True
+        warmup.participant("s2").veto = True  # transaction aborts
+        cluster.run_transaction(warmup)
+        spec = updating_spec("c", ["s2"])
+        cluster.run_transaction(spec)
+        # The aborted offer never took effect: s1 is swept in.
+        assert cluster.metrics.commit_flows(src="s1", txn=spec.txn_id) == 1
+
+    def test_receiving_work_cancels_leave_out(self):
+        """Leaving out applies only to transactions in which no data is
+        exchanged with the partner."""
+        cluster = self.warmed_cluster()
+        spec = updating_spec("c", ["s1", "s2"])  # s1 active again
+        handle = cluster.run_transaction(spec)
+        assert handle.committed
+        assert cluster.value("s1", "key-s1") == 1
+        assert cluster.metrics.commit_flows(src="s1", txn=spec.txn_id) == 2
+
+    def test_cascaded_offer_requires_whole_subtree(self):
+        """A participant may offer leave-out only if every member of
+        its subtree offered it."""
+        cluster = Cluster(self.config(), nodes=["c", "mid", "leaf"])
+        warmup = TransactionSpec(participants=[
+            ParticipantSpec(node="c", ops=[write_op("a", 1)]),
+            ParticipantSpec(node="mid", parent="c", ops=[write_op("b", 1)],
+                            ok_to_leave_out=True),
+            ParticipantSpec(node="leaf", parent="mid",
+                            ops=[write_op("d", 1)],
+                            ok_to_leave_out=False)])
+        cluster.run_transaction(warmup)
+        # mid's subtree did not uniformly offer, so mid cannot be left
+        # out of the next transaction.
+        spec = flat_tree("c", [])
+        spec.participant("c").ops.append(write_op("e", 1))
+        cluster.run_transaction(spec)
+        assert cluster.metrics.commit_flows(src="mid", txn=spec.txn_id) >= 1
+
+    def test_disabled_config_never_leaves_out(self):
+        cluster = Cluster(PRESUMED_ABORT.with_options(leave_out=False),
+                          nodes=["c", "s1"])
+        warmup = updating_spec("c", ["s1"])
+        warmup.participant("s1").ok_to_leave_out = True
+        cluster.run_transaction(warmup)
+        spec = flat_tree("c", [])
+        spec.participant("c").ops.append(write_op("e", 1))
+        cluster.run_transaction(spec)
+        assert cluster.metrics.commit_flows(src="s1", txn=spec.txn_id) == 1
+
+    def test_figure5_partitioned_tree_damage(self):
+        """Figure 5: leaving a shared partner out of two disjoint
+        subtrees lets one logical unit of work reach two outcomes."""
+        from repro.trace.figures import figure5
+        result = figure5()
+        left, right = result.txn_ids
+        left_outcome = result.cluster.recorded_outcome("Pd", left)
+        right_outcome = result.cluster.recorded_outcome("Pe", right)
+        assert left_outcome == "commit"
+        assert right_outcome in (None, "abort")  # PA aborts log nothing
+        assert "different outcomes" in result.commentary

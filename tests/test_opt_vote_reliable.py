@@ -1,0 +1,130 @@
+"""Vote Reliable (§4): ack waivers, early completion, and the
+report-loss disadvantage."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import HeuristicChoice, PRESUMED_ABORT
+from repro.core.spec import chain_tree
+from repro.lrm.operations import write_op
+from repro.net.message import MessageType
+
+from tests.conftest import updating_spec
+
+
+def config(**kwargs):
+    return PRESUMED_ABORT.with_options(vote_reliable=True, **kwargs)
+
+
+def test_reliable_subordinate_ack_waived():
+    cluster = Cluster(config(), nodes=["c", "s"], reliable_nodes=["s"])
+    spec = updating_spec("c", ["s"])
+    handle = cluster.run_transaction(spec)
+    assert handle.committed
+    acks = cluster.metrics.flows.total(msg_type=MessageType.ACK.value,
+                                       txn=spec.txn_id)
+    assert acks == 0
+
+
+def test_unreliable_subordinate_still_acks():
+    cluster = Cluster(config(), nodes=["c", "s"])
+    spec = updating_spec("c", ["s"])
+    cluster.run_transaction(spec)
+    acks = cluster.metrics.flows.total(msg_type=MessageType.ACK.value,
+                                       txn=spec.txn_id)
+    assert acks == 1
+
+
+def test_mixed_tree_waives_only_reliable_acks():
+    cluster = Cluster(config(), nodes=["c", "r1", "r2", "u"],
+                      reliable_nodes=["r1", "r2"])
+    spec = updating_spec("c", ["r1", "r2", "u"])
+    cluster.run_transaction(spec)
+    acks = cluster.metrics.flows.total(msg_type=MessageType.ACK.value,
+                                       txn=spec.txn_id)
+    assert acks == 1  # only from the unreliable u
+
+
+def test_reliability_aggregates_up_the_tree():
+    """An intermediate's vote carries reliable only when its whole
+    subtree (local RMs and children) voted reliable."""
+    # All-reliable chain: the mid's vote is reliable.
+    cluster = Cluster(config(), nodes=["root", "mid", "leaf"],
+                      reliable_nodes=["root", "mid", "leaf"])
+    spec = chain_tree(["root", "mid", "leaf"])
+    for participant in spec.participants:
+        participant.ops.append(write_op(f"k-{participant.node}", 1))
+    reliable_votes = []
+    cluster.network.on_send.append(
+        lambda m: reliable_votes.append((m.src, m.flag("reliable")))
+        if m.msg_type is MessageType.VOTE_YES else None)
+    cluster.run_transaction(spec)
+    assert ("mid", True) in reliable_votes
+
+    # Unreliable leaf poisons the mid's vote.
+    cluster2 = Cluster(config(), nodes=["root", "mid", "leaf"],
+                       reliable_nodes=["root", "mid"])
+    spec2 = chain_tree(["root", "mid", "leaf"])
+    for participant in spec2.participants:
+        participant.ops.append(write_op(f"k-{participant.node}", 1))
+    votes2 = []
+    cluster2.network.on_send.append(
+        lambda m: votes2.append((m.src, m.flag("reliable")))
+        if m.msg_type is MessageType.VOTE_YES else None)
+    cluster2.run_transaction(spec2)
+    assert ("mid", False) in votes2
+
+
+def test_commit_completes_earlier_with_reliable_votes():
+    """The paper's point: early-acknowledgment-style completion without
+    giving up late-ack semantics for unreliable resources."""
+    def completion_time(reliable):
+        nodes = ["root", "mid", "leaf"]
+        cluster = Cluster(config(), nodes=nodes,
+                          reliable_nodes=nodes if reliable else [])
+        spec = chain_tree(nodes)
+        for participant in spec.participants:
+            participant.ops.append(write_op(f"k-{participant.node}", 1))
+        handle = cluster.run_transaction(spec)
+        return handle.latency
+
+    assert completion_time(reliable=True) < completion_time(reliable=False)
+
+
+def test_damage_report_lost_for_reliable_resource():
+    """Table 1's disadvantage: if a reliable resource does take a
+    heuristic decision after all, the root never hears about it."""
+    cfg = config(heuristic_timeout=8.0,
+                 heuristic_choice=HeuristicChoice.ABORT,
+                 ack_timeout=15.0, retry_interval=15.0,
+                 propagate_heuristic_reports=True)
+    cluster = Cluster(cfg, nodes=["root", "sub"], reliable_nodes=["sub"])
+    spec = updating_spec("root", ["sub"])
+    cluster.partition_at("root", "sub", 4.5)   # before the commit lands
+    cluster.heal_at("root", "sub", 60.0)
+    handle = cluster.start_transaction(spec)
+    cluster.run_until(300.0)
+    # The sub heuristically aborted while the tree committed: damage.
+    damaged = cluster.metrics.damaged_heuristics()
+    assert len(damaged) == 1 and damaged[0].node == "sub"
+    # But the root believed the commit was clean the moment it decided
+    # — no ack was expected from the reliable sub.
+    assert handle.committed
+    assert not handle.heuristic_mixed
+
+
+def test_unreliable_damage_does_reach_root():
+    """Contrast case: without the reliable waiver the same failure is
+    reported to the root."""
+    cfg = PRESUMED_ABORT.with_options(
+        heuristic_timeout=8.0, heuristic_choice=HeuristicChoice.ABORT,
+        ack_timeout=15.0, retry_interval=15.0,
+        propagate_heuristic_reports=True)
+    cluster = Cluster(cfg, nodes=["root", "sub"])
+    spec = updating_spec("root", ["sub"])
+    cluster.partition_at("root", "sub", 4.5)
+    cluster.heal_at("root", "sub", 60.0)
+    handle = cluster.start_transaction(spec)
+    cluster.run_until(300.0)
+    assert handle.committed
+    assert handle.heuristic_mixed

@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The key system invariants:
+
+* **Atomicity** — across arbitrary tree shapes, protocols, veto
+  placements and crash schedules, all participants that decide agree
+  on the outcome (heuristic decisions excepted — they are the
+  documented, reported damage).
+* **Model agreement** — the analytic Table 3 formulas equal the
+  simulator's measured counts for arbitrary (n, m).
+* **Substrate invariants** — lock exclusivity, KV undo correctness,
+  log LSN monotonicity under arbitrary operation interleavings.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    BASIC_2PC,
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+)
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.analysis.formulas import TABLE3_FORMULAS
+from repro.analysis.scenarios import run_table3_scenario
+from repro.lrm.kv import KVStore
+from repro.lrm.operations import read_op, write_op
+from repro.log.manager import LogManager
+from repro.log.records import LogRecordType
+from repro.metrics.collector import MetricsCollector
+from repro.sim.kernel import Simulator
+
+from tests.conftest import assert_atomic
+
+CONFIGS = [BASIC_2PC, PRESUMED_ABORT, PRESUMED_NOTHING, PRESUMED_COMMIT]
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def tree_specs(draw, max_nodes=7):
+    """A random commit tree with random read-only/veto placement."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    names = [f"n{i}" for i in range(n)]
+    participants = [ParticipantSpec(node="n0")]
+    for index in range(1, n):
+        parent = names[draw(st.integers(0, index - 1))]
+        participants.append(ParticipantSpec(node=names[index],
+                                            parent=parent))
+    for participant in participants:
+        kind = draw(st.sampled_from(["update", "read", "none"]))
+        if kind == "update":
+            participant.ops.append(
+                write_op(f"k-{participant.node}", draw(st.integers(0, 9))))
+        elif kind == "read":
+            participant.ops.append(read_op("shared"))
+        if draw(st.booleans()) and draw(st.integers(0, 9)) == 0:
+            participant.veto = True
+    return TransactionSpec(participants=participants)
+
+
+# ----------------------------------------------------------------------
+# Atomicity
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(spec=tree_specs(), config_index=st.integers(0, len(CONFIGS) - 1))
+def test_atomicity_failure_free(spec, config_index):
+    from repro.verify import ProtocolChecker
+    config = CONFIGS[config_index]
+    cluster = Cluster(config, nodes=[p.node for p in spec.participants])
+    checker = ProtocolChecker().attach(cluster)
+    handle = cluster.run_transaction(spec)
+    assert handle.done
+    checker.check_atomicity(spec.txn_id)
+    checker.assert_clean()
+    agreed = assert_atomic(cluster, spec)
+    vetoed = any(p.veto for p in spec.participants)
+    if vetoed:
+        assert handle.aborted and agreed == "abort"
+    else:
+        assert handle.committed
+    # Strict 2PL: every lock is gone afterwards.
+    for participant in spec.participants:
+        cluster.node(participant.node).default_rm.locks.assert_released(
+            spec.txn_id)
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=tree_specs(max_nodes=5),
+       config_index=st.integers(0, len(CONFIGS) - 1),
+       crash_victim=st.integers(0, 4),
+       crash_time=st.floats(min_value=0.5, max_value=12.0),
+       restart_delay=st.floats(min_value=5.0, max_value=30.0))
+def test_atomicity_with_crash_and_restart(spec, config_index, crash_victim,
+                                          crash_time, restart_delay):
+    """One node crashes at an arbitrary instant and restarts; after
+    recovery runs, no two nodes disagree durably on the outcome."""
+    from repro.verify import ProtocolChecker
+    config = CONFIGS[config_index].with_options(
+        ack_timeout=15.0, retry_interval=15.0, vote_timeout=20.0,
+        inquiry_timeout=20.0)
+    nodes = [p.node for p in spec.participants]
+    victim = nodes[crash_victim % len(nodes)]
+    cluster = Cluster(config, nodes=nodes)
+    checker = ProtocolChecker().attach(cluster)
+    cluster.crash_at(victim, crash_time)
+    cluster.restart_at(victim, crash_time + restart_delay)
+    cluster.start_transaction(spec)
+    cluster.run_until(600.0, max_events=500_000)
+    checker.check_atomicity(spec.txn_id)
+    checker.assert_clean()
+    assert_atomic(cluster, spec)
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=tree_specs(max_nodes=5),
+       config_index=st.integers(0, len(CONFIGS) - 1),
+       cut_edge=st.integers(0, 10),
+       cut_time=st.floats(min_value=1.0, max_value=12.0),
+       heal_delay=st.floats(min_value=10.0, max_value=60.0),
+       jitter_seed=st.integers(0, 1000))
+def test_protocol_rules_under_partitions_and_jitter(
+        spec, config_index, cut_edge, cut_time, heal_delay, jitter_seed):
+    """Random trees + random partition windows + jittered (FIFO)
+    links: the wire-protocol rules hold and atomicity survives."""
+    from repro.net.latency import UniformLatency
+    from repro.verify import ProtocolChecker
+    config = CONFIGS[config_index].with_options(
+        ack_timeout=15.0, retry_interval=15.0, vote_timeout=25.0,
+        inquiry_timeout=25.0)
+    nodes = [p.node for p in spec.participants]
+    cluster = Cluster(config, nodes=nodes, seed=jitter_seed,
+                      latency=UniformLatency(0.5, 2.0))
+    checker = ProtocolChecker().attach(cluster)
+    edges = [(p.parent, p.node) for p in spec.participants
+             if p.parent is not None]
+    if edges:
+        a, b = edges[cut_edge % len(edges)]
+        cluster.partition_at(a, b, cut_time)
+        cluster.heal_at(a, b, cut_time + heal_delay)
+    cluster.start_transaction(spec)
+    cluster.run_until(600.0, max_events=500_000)
+    checker.check_atomicity(spec.txn_id)
+    checker.assert_clean()
+    assert_atomic(cluster, spec)
+
+
+# ----------------------------------------------------------------------
+# Analytic model == simulator
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=9), m_seed=st.integers(0, 100),
+       key=st.sampled_from(sorted(TABLE3_FORMULAS)))
+def test_formulas_match_simulation(n, m_seed, key):
+    m = m_seed % n  # 0 <= m <= n-1
+    analytic = TABLE3_FORMULAS[key].costs(n, m)
+    measured = run_table3_scenario(key, n, m).total
+    assert analytic.as_tuple() == measured.as_tuple(), \
+        f"{key}(n={n}, m={m}): {analytic} vs {measured}"
+
+
+# ----------------------------------------------------------------------
+# Substrate invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["w", "d"]),
+                              st.integers(0, 5), st.integers(0, 99)),
+                    max_size=30))
+def test_kv_abort_restores_exact_state(ops):
+    initial = {f"k{i}": i for i in range(3)}
+    store = KVStore(dict(initial))
+    for kind, key_index, value in ops:
+        key = f"k{key_index}"
+        if kind == "w":
+            store.write("t", key, value)
+        else:
+            store.delete("t", key)
+    store.abort("t")
+    assert store.snapshot() == initial
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["w", "d"]),
+                              st.integers(0, 5), st.integers(0, 99)),
+                    max_size=30))
+def test_kv_commit_keeps_final_state(ops):
+    store = KVStore()
+    expected = {}
+    for kind, key_index, value in ops:
+        key = f"k{key_index}"
+        if kind == "w":
+            store.write("t", key, value)
+            expected[key] = value
+        else:
+            store.delete("t", key)
+            expected.pop(key, None)
+    store.commit("t")
+    assert store.snapshot() == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(plan=st.lists(st.tuples(st.booleans(), st.booleans()),
+                     min_size=1, max_size=25),
+       crash_at=st.integers(0, 25))
+def test_log_stable_prefix_survives_crash(plan, crash_at):
+    """Whatever the interleaving of forced/non-forced writes and the
+    crash point, stable storage holds an LSN-ordered prefix-closed set
+    of the forced history."""
+    simulator = Simulator()
+    metrics = MetricsCollector()
+    log = LogManager(simulator, metrics, "n", io_latency=0.1)
+    for index, (force, __) in enumerate(plan):
+        log.write(f"t{index}", LogRecordType.PREPARED, force=force)
+        if index == crash_at:
+            log.crash()
+        simulator.run()
+    records = log.stable.records()
+    lsns = [r.lsn for r in records]
+    assert lsns == sorted(lsns)
+    assert len(set(lsns)) == len(lsns)
+
+
+@settings(max_examples=30, deadline=None)
+@given(requests=st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 2), st.booleans()),
+    min_size=1, max_size=20))
+def test_lock_exclusivity_invariant(requests):
+    """No two transactions ever hold incompatible locks on one key."""
+    from repro.errors import DeadlockError
+    from repro.lrm.locks import LockManager, LockMode
+    simulator = Simulator()
+    locks = LockManager(simulator)
+    for txn_index, key_index, exclusive in requests:
+        mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+        try:
+            locks.acquire(f"t{txn_index}", f"k{key_index}", mode,
+                          lambda: None)
+        except DeadlockError:
+            locks.release_all(f"t{txn_index}")
+        simulator.run()
+        for key, lock in locks._table.items():
+            exclusive_holders = [r.txn_id for r in lock.granted
+                                 if r.mode is LockMode.EXCLUSIVE]
+            if exclusive_holders:
+                assert len({r.txn_id for r in lock.granted}) == 1, \
+                    f"X-lock shared on {key}"

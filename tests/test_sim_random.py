@@ -1,0 +1,81 @@
+"""Unit tests for the named random streams."""
+
+import pytest
+
+from repro.sim.randomness import RandomStream, StreamFactory
+
+
+def test_same_seed_same_sequence():
+    a = RandomStream(123)
+    b = RandomStream(123)
+    assert [a.random() for __ in range(5)] == [b.random() for __ in range(5)]
+
+
+def test_uniform_bounds():
+    stream = RandomStream(1)
+    for __ in range(100):
+        value = stream.uniform(2.0, 3.0)
+        assert 2.0 <= value <= 3.0
+
+
+def test_uniform_reversed_bounds_rejected():
+    with pytest.raises(ValueError):
+        RandomStream(1).uniform(3.0, 2.0)
+
+
+def test_expovariate_positive_rate_required():
+    with pytest.raises(ValueError):
+        RandomStream(1).expovariate(0.0)
+
+
+def test_chance_bounds_and_extremes():
+    stream = RandomStream(5)
+    assert all(stream.chance(1.0) for __ in range(20))
+    assert not any(stream.chance(0.0) for __ in range(20))
+    with pytest.raises(ValueError):
+        stream.chance(1.5)
+
+
+def test_choice_empty_rejected():
+    with pytest.raises(ValueError):
+        RandomStream(1).choice([])
+
+
+def test_choice_returns_member():
+    stream = RandomStream(2)
+    items = ["x", "y", "z"]
+    for __ in range(20):
+        assert stream.choice(items) in items
+
+
+def test_factory_streams_stable_by_name():
+    f1 = StreamFactory(9)
+    f2 = StreamFactory(9)
+    assert f1.stream("alpha").random() == f2.stream("alpha").random()
+
+
+def test_factory_streams_independent_by_name():
+    factory = StreamFactory(9)
+    a = factory.stream("a")
+    # Drawing from one stream must not perturb another.
+    before = StreamFactory(9).stream("b").random()
+    a.random()
+    a.random()
+    after = factory.stream("b").random()
+    assert before == after
+
+
+def test_factory_returns_same_instance():
+    factory = StreamFactory(0)
+    assert factory.stream("x") is factory.stream("x")
+
+
+def test_shuffle_and_sample():
+    stream = RandomStream(3)
+    items = list(range(10))
+    sample = stream.sample(items, 4)
+    assert len(sample) == 4
+    assert set(sample) <= set(items)
+    shuffled = list(items)
+    stream.shuffle(shuffled)
+    assert sorted(shuffled) == items

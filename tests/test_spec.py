@@ -1,0 +1,110 @@
+"""Unit tests for transaction specifications and tree validation."""
+
+import pytest
+
+from repro.core.spec import (
+    ParticipantSpec,
+    TransactionSpec,
+    chain_tree,
+    flat_tree,
+)
+from repro.errors import ConfigurationError
+from repro.lrm.operations import write_op
+
+
+def test_flat_tree_shape():
+    spec = flat_tree("r", ["a", "b"])
+    assert spec.root.node == "r"
+    assert [c.node for c in spec.children_of("r")] == ["a", "b"]
+    assert spec.size == 3
+
+
+def test_chain_tree_shape():
+    spec = chain_tree(["a", "b", "c"])
+    assert spec.root.node == "a"
+    assert spec.participant("c").parent == "b"
+
+
+def test_chain_tree_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        chain_tree([])
+
+
+def test_txn_ids_unique_by_default():
+    assert flat_tree("r", []).txn_id != flat_tree("r", []).txn_id
+
+
+def test_explicit_txn_id():
+    assert flat_tree("r", [], txn_id="mine").txn_id == "mine"
+
+
+def test_no_root_rejected():
+    with pytest.raises(ConfigurationError, match="exactly one root"):
+        TransactionSpec(participants=[
+            ParticipantSpec(node="a", parent="b"),
+            ParticipantSpec(node="b", parent="a")])
+
+
+def test_two_roots_rejected():
+    with pytest.raises(ConfigurationError, match="exactly one root"):
+        TransactionSpec(participants=[
+            ParticipantSpec(node="a"), ParticipantSpec(node="b")])
+
+
+def test_duplicate_nodes_rejected():
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        TransactionSpec(participants=[
+            ParticipantSpec(node="a"),
+            ParticipantSpec(node="a", parent="a")])
+
+
+def test_unknown_parent_rejected():
+    with pytest.raises(ConfigurationError, match="unknown parent"):
+        TransactionSpec(participants=[
+            ParticipantSpec(node="a"),
+            ParticipantSpec(node="b", parent="ghost")])
+
+
+def test_disconnected_tree_rejected():
+    with pytest.raises(ConfigurationError):
+        TransactionSpec(participants=[
+            ParticipantSpec(node="a"),
+            ParticipantSpec(node="b", parent="c"),
+            ParticipantSpec(node="c", parent="b")])
+
+
+def test_root_cannot_be_last_agent():
+    with pytest.raises(ConfigurationError, match="root"):
+        TransactionSpec(participants=[
+            ParticipantSpec(node="a", last_agent=True)])
+
+
+def test_two_last_agents_per_parent_rejected():
+    with pytest.raises(ConfigurationError, match="more than one"):
+        TransactionSpec(participants=[
+            ParticipantSpec(node="r"),
+            ParticipantSpec(node="a", parent="r", last_agent=True),
+            ParticipantSpec(node="b", parent="r", last_agent=True)])
+
+
+def test_chained_last_agents_allowed():
+    spec = TransactionSpec(participants=[
+        ParticipantSpec(node="r"),
+        ParticipantSpec(node="a", parent="r", last_agent=True),
+        ParticipantSpec(node="b", parent="a", last_agent=True)])
+    assert spec.participant("b").last_agent
+
+
+def test_participant_lookup():
+    spec = flat_tree("r", ["a"])
+    assert spec.participant("a").parent == "r"
+    with pytest.raises(KeyError):
+        spec.participant("ghost")
+    assert spec.has_participant("a")
+    assert not spec.has_participant("ghost")
+
+
+def test_ops_carried_through():
+    spec = flat_tree("r", ["a"])
+    spec.participant("a").ops.append(write_op("k", 1))
+    assert spec.participant("a").ops[0].key == "k"

@@ -1,0 +1,158 @@
+"""Golden reproduction tests: every cell of the paper's Tables 2-4.
+
+These are the repository's headline claim: the simulator *measures*
+exactly the costs the paper *derives* for every protocol variant and
+optimization.  A failure here means the protocol engine and the
+analytic model (and hence the paper) disagree.
+"""
+
+import pytest
+
+from repro.analysis.compare import compare_row
+from repro.analysis.formulas import (
+    TABLE3_FORMULAS,
+    basic_2pc_costs,
+    group_commit_io_savings,
+    long_locks_costs,
+    pa_abort_costs,
+    pa_commit_costs,
+    pa_read_only_costs,
+    pc_commit_costs,
+    pn_commit_costs,
+)
+from repro.analysis.scenarios import (
+    TABLE2_SCENARIOS,
+    run_table3_scenario,
+    run_table4_scenario,
+)
+from repro.analysis.tables import table2_rows, table3_rows, table4_rows
+
+
+# ----------------------------------------------------------------------
+# Table 2: per-role flows and log writes, 2-participant transaction
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("row", table2_rows(), ids=lambda r: r.key)
+def test_table2_row(row):
+    result = TABLE2_SCENARIOS[row.key]()
+    coord = compare_row(f"{row.label} [coordinator]", row.coordinator,
+                        result.coordinator)
+    sub = compare_row(f"{row.label} [subordinate]", row.subordinate,
+                      result.subordinate)
+    assert coord.matches, coord.describe()
+    assert sub.matches, sub.describe()
+
+
+def test_table2_commit_outcomes():
+    for row in table2_rows():
+        result = TABLE2_SCENARIOS[row.key]()
+        expected = "abort" if row.key == "pa_abort" else "commit"
+        assert result.outcome == expected, row.key
+
+
+# ----------------------------------------------------------------------
+# Table 3: n = 11 participants, m = 4 following each optimization
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("row", table3_rows(n=11, m=4),
+                         ids=lambda r: r.key)
+def test_table3_row_n11_m4(row):
+    result = run_table3_scenario(row.key, row.n, row.m)
+    comparison = compare_row(row.label, row.analytic, result.total)
+    assert comparison.matches, comparison.describe()
+
+
+@pytest.mark.parametrize("key", ["basic", "read_only", "leave_out",
+                                 "unsolicited_vote", "vote_reliable"])
+@pytest.mark.parametrize("n,m", [(4, 1), (6, 3)])
+def test_table3_other_tree_sizes(key, n, m):
+    """The formulas hold for tree sizes beyond the paper's example."""
+    analytic = TABLE3_FORMULAS[key].costs(n, m)
+    result = run_table3_scenario(key, n, m)
+    comparison = compare_row(f"{key}(n={n},m={m})", analytic, result.total)
+    assert comparison.matches, comparison.describe()
+
+
+# ----------------------------------------------------------------------
+# Table 4: r = 12 chained 2-member transactions
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("row", table4_rows(r=12),
+                         ids=lambda r: r.variant)
+def test_table4_row_r12(row):
+    measured = run_table4_scenario(row.variant, row.r)
+    comparison = compare_row(row.label, row.analytic, measured)
+    assert comparison.matches, comparison.describe()
+
+
+@pytest.mark.parametrize("variant,r", [("basic", 6), ("long_locks", 6),
+                                       ("long_locks_last_agent", 6)])
+def test_table4_other_chain_lengths(variant, r):
+    analytic = long_locks_costs(r, variant)
+    measured = run_table4_scenario(variant, r)
+    comparison = compare_row(f"{variant}(r={r})", analytic, measured)
+    assert comparison.matches, comparison.describe()
+
+
+# ----------------------------------------------------------------------
+# Formula unit checks (paper prose cross-checks)
+# ----------------------------------------------------------------------
+def test_basic_formula_matches_table2_totals():
+    assert basic_2pc_costs(2).as_tuple() == (4, 5, 3)
+    assert pa_commit_costs(2).as_tuple() == (4, 5, 3)
+
+
+def test_pn_formula_matches_table2_totals():
+    # coordinator 3/2 + subordinate 4/3
+    assert pn_commit_costs(2).as_tuple() == (4, 7, 5)
+
+
+def test_abort_and_read_only_formulas():
+    assert pa_abort_costs(2).as_tuple() == (3, 0, 0)
+    assert pa_read_only_costs(2).as_tuple() == (2, 0, 0)
+
+
+def test_pc_formula():
+    assert pc_commit_costs(2).as_tuple() == (3, 5, 3)
+
+
+def test_table3_example_values_from_paper():
+    """The n=11, m=4 column of Table 3 (OCR-reconstructed)."""
+    expected = {
+        "basic": (40, 32, 21),
+        "read_only": (32, 20, 13),
+        "last_agent": (32, 32, 21),
+        "unsolicited_vote": (36, 32, 21),
+        "leave_out": (24, 20, 13),
+        "vote_reliable": (36, 32, 21),
+        "wait_for_outcome": (40, 32, 21),
+        "shared_logs": (40, 32, 13),
+        "long_locks": (36, 32, 21),
+    }
+    for key, triple in expected.items():
+        assert TABLE3_FORMULAS[key].costs(11, 4).as_tuple() == triple, key
+
+
+def test_table4_example_values_from_paper():
+    assert long_locks_costs(12, "basic").as_tuple() == (48, 60, 36)
+    assert long_locks_costs(12, "long_locks").as_tuple() == (36, 60, 36)
+    assert long_locks_costs(
+        12, "long_locks_last_agent").as_tuple() == (18, 60, 36)
+
+
+def test_formula_argument_validation():
+    with pytest.raises(ValueError):
+        TABLE3_FORMULAS["read_only"].costs(4, 4)  # m must be <= n-1
+    with pytest.raises(ValueError):
+        long_locks_costs(0, "basic")
+    with pytest.raises(ValueError):
+        long_locks_costs(3, "long_locks_last_agent")  # odd r
+    with pytest.raises(ValueError):
+        long_locks_costs(4, "bogus")
+
+
+def test_group_commit_savings_formula():
+    assert group_commit_io_savings(20, 1) == 0
+    assert group_commit_io_savings(20, 4) == 15
+    assert group_commit_io_savings(0, 4) == 0
+    with pytest.raises(ValueError):
+        group_commit_io_savings(-1, 4)
+    with pytest.raises(ValueError):
+        group_commit_io_savings(10, 0)

@@ -1,0 +1,156 @@
+"""Tests for the runtime protocol checker — including that it actually
+catches seeded violations."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import (
+    BASIC_2PC,
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+)
+from repro.core.spec import chain_tree
+from repro.lrm.operations import write_op
+from repro.net.message import MessageType
+from repro.verify import ProtocolChecker
+
+from tests.conftest import updating_spec
+
+
+@pytest.mark.parametrize("config", [
+    pytest.param(BASIC_2PC, id="basic"),
+    pytest.param(PRESUMED_ABORT, id="pa"),
+    pytest.param(PRESUMED_NOTHING, id="pn"),
+    pytest.param(PRESUMED_COMMIT, id="pc"),
+])
+def test_clean_commit_has_no_violations(config):
+    cluster = Cluster(config, nodes=["c", "s1", "s2"])
+    checker = ProtocolChecker().attach(cluster)
+    spec = updating_spec("c", ["s1", "s2"])
+    cluster.run_transaction(spec)
+    checker.check_atomicity(spec.txn_id)
+    checker.assert_clean()
+
+
+def test_clean_abort_has_no_violations():
+    cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s1", "s2"])
+    checker = ProtocolChecker().attach(cluster)
+    spec = updating_spec("c", ["s1", "s2"])
+    spec.participant("s2").veto = True
+    cluster.run_transaction(spec)
+    checker.check_atomicity(spec.txn_id)
+    checker.assert_clean()
+
+
+def test_clean_under_crash_recovery():
+    config = PRESUMED_ABORT.with_options(ack_timeout=15.0,
+                                         retry_interval=15.0)
+    cluster = Cluster(config, nodes=["c", "s"])
+    checker = ProtocolChecker().attach(cluster)
+    spec = updating_spec("c", ["s"])
+    cluster.crash_at("s", 4.5)
+    cluster.restart_at("s", 40.0)
+    cluster.start_transaction(spec)
+    cluster.run_until(300.0)
+    checker.check_atomicity(spec.txn_id)
+    checker.assert_clean()
+
+
+def test_clean_with_optimizations():
+    config = PRESUMED_ABORT.with_options(last_agent=True, long_locks=True,
+                                         vote_reliable=True)
+    cluster = Cluster(config, nodes=["c", "s"], reliable_nodes=["s"])
+    checker = ProtocolChecker().attach(cluster)
+    spec = updating_spec("c", ["s"])
+    spec.participant("s").last_agent = True
+    cluster.run_transaction(spec)
+    cluster.finalize_implied_acks()
+    checker.assert_clean()
+
+
+class TestSeededViolations:
+    """The checker must catch deliberately broken behaviour."""
+
+    def test_commit_without_committed_record_flagged(self):
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+        checker = ProtocolChecker().attach(cluster)
+        # A rogue COMMIT with no decision behind it.
+        cluster.node("c").send(MessageType.COMMIT, "s", "rogue-txn")
+        cluster.run()
+        rules = {v.rule for v in checker.violations}
+        assert "R3" in rules
+        with pytest.raises(AssertionError):
+            checker.assert_clean()
+
+    def test_unsolicited_unprepared_vote_flagged(self):
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+        checker = ProtocolChecker().attach(cluster)
+        cluster.node("s").send(MessageType.VOTE_YES, "c", "rogue-txn")
+        cluster.run()
+        rules = {v.rule for v in checker.violations}
+        assert "R1" in rules and "R2" in rules
+
+    def test_conflicting_outcomes_flagged(self):
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+        checker = ProtocolChecker().attach(cluster)
+        cluster.node("c").log.write("dup", __import__(
+            "repro.log.records", fromlist=["LogRecordType"]
+        ).LogRecordType.COMMITTED)
+        cluster.node("c").send(MessageType.COMMIT, "s", "dup")
+        cluster.node("c").send(MessageType.ABORT, "s", "dup")
+        cluster.run()
+        assert any(v.rule == "R4" for v in checker.violations)
+
+    def test_rogue_ack_flagged(self):
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+        checker = ProtocolChecker().attach(cluster)
+        cluster.node("s").send(MessageType.ACK, "c", "rogue-txn",
+                               payload={"reports": [],
+                                        "outcome_pending": False})
+        cluster.run()
+        assert any(v.rule == "R5" for v in checker.violations)
+
+    def test_atomicity_violation_flagged(self):
+        """Seed divergent durable outcomes directly."""
+        from repro.log.records import LogRecordType
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+        checker = ProtocolChecker().attach(cluster)
+        cluster.node("c").log.write("split", LogRecordType.COMMITTED,
+                                    force=True)
+        cluster.node("s").log.write("split", LogRecordType.ABORTED,
+                                    force=True)
+        cluster.run()
+        checker.check_atomicity("split")
+        assert any(v.rule == "R6" for v in checker.violations)
+
+
+def test_violation_str():
+    from repro.verify import Violation
+    violation = Violation(rule="R1", txn_id="t", detail="broken")
+    assert "[R1]" in str(violation) and "broken" in str(violation)
+
+
+def test_check_atomicity_requires_attachment():
+    checker = ProtocolChecker()
+    with pytest.raises(RuntimeError):
+        checker.check_atomicity("t")
+
+
+def test_heuristic_damage_is_not_a_violation():
+    """Heuristic mixed outcomes are damage (reported), not protocol
+    violations — R6 carves them out."""
+    from repro.core.config import HeuristicChoice
+    config = PRESUMED_ABORT.with_options(
+        heuristic_timeout=8.0, heuristic_choice=HeuristicChoice.ABORT,
+        ack_timeout=15.0, retry_interval=15.0)
+    cluster = Cluster(config, nodes=["c", "s"])
+    checker = ProtocolChecker().attach(cluster)
+    spec = updating_spec("c", ["s"])
+    cluster.partition_at("c", "s", 4.5)
+    cluster.heal_at("c", "s", 60.0)
+    cluster.start_transaction(spec)
+    cluster.run_until(400.0)
+    assert cluster.metrics.damaged_heuristics()
+    checker.check_atomicity(spec.txn_id)
+    checker.assert_clean()

@@ -1,0 +1,84 @@
+"""Wait For Outcome (§4): one recovery attempt, then complete with an
+'outcome pending' indication while recovery continues in background."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import PRESUMED_ABORT
+
+from tests.conftest import updating_spec
+
+
+def build(wait_for_outcome: bool):
+    config = PRESUMED_ABORT.with_options(
+        wait_for_outcome=wait_for_outcome, ack_timeout=10.0,
+        retry_interval=10.0)
+    cluster = Cluster(config, nodes=["c", "s"])
+    spec = updating_spec("c", ["s"])
+    # The subordinate commits but its ack is lost; the partition stays
+    # up long enough to exhaust the single sanctioned retry.
+    cluster.partition_at("c", "s", 5.25)
+    cluster.heal_at("c", "s", 100.0)
+    handle = cluster.start_transaction(spec)
+    return cluster, spec, handle
+
+
+def test_completes_early_with_outcome_pending():
+    cluster, __, handle = build(wait_for_outcome=True)
+    cluster.run_until(80.0)
+    assert handle.done and handle.committed
+    assert handle.outcome_pending
+    assert handle.completed_at < 80.0
+
+
+def test_background_recovery_resolves_after_heal():
+    cluster, spec, handle = build(wait_for_outcome=True)
+    cluster.run_until(400.0)
+    assert handle.done and not handle.outcome_pending
+    assert handle.recovery_completed_at is not None
+    assert handle.recovery_completed_at > 100.0
+    assert cluster.value("s", "key-s") == 1
+
+
+def test_blocking_variant_waits_for_heal():
+    cluster, __, handle = build(wait_for_outcome=False)
+    cluster.run_until(80.0)
+    assert not handle.done          # blocked on the missing ack
+    cluster.run_until(400.0)
+    assert handle.done and handle.committed
+    assert not handle.outcome_pending
+    assert handle.completed_at > 100.0
+
+
+def test_wait_for_outcome_beats_blocking_on_latency():
+    pending_cluster, __, pending_handle = build(wait_for_outcome=True)
+    pending_cluster.run_until(400.0)
+    blocking_cluster, __, blocking_handle = build(wait_for_outcome=False)
+    blocking_cluster.run_until(400.0)
+    assert pending_handle.completed_at < blocking_handle.completed_at
+
+
+def test_normal_case_unaffected():
+    """Failure-free runs look identical with or without the option."""
+    config = PRESUMED_ABORT.with_options(wait_for_outcome=True,
+                                         ack_timeout=10.0)
+    cluster = Cluster(config, nodes=["c", "s"])
+    spec = updating_spec("c", ["s"])
+    handle = cluster.run_transaction(spec)
+    assert handle.committed
+    assert not handle.outcome_pending
+    assert cluster.metrics.recovery_flows(txn=spec.txn_id) == 0
+
+
+def test_single_attempt_then_background():
+    """§4: 'one attempt to contact a failed partner is attempted'
+    before the operation completes as pending."""
+    cluster, spec, handle = build(wait_for_outcome=True)
+    cluster.run_until(80.0)
+    completed_at = handle.completed_at
+    # The first recovery attempt (one OUTCOME flow) preceded completion.
+    recovery_before = cluster.metrics.flows.total(
+        phase="recovery", txn=spec.txn_id)
+    assert recovery_before >= 1
+    assert handle.outcome_pending
+    assert completed_at > 10.0  # not before the first ack timeout
