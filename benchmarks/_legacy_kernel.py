@@ -1,0 +1,82 @@
+"""Frozen replica of the seed ``repro.sim.events`` implementation.
+
+This is the reference the kernel microbenchmark compares against so
+the "≥1.5× on event churn" claim in ``BENCH_kernel.json`` stays
+measurable on any machine: both implementations run in the same
+process, same interpreter, same load.  Do not optimize this file —
+its slowness is the point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class LegacyEvent:
+    """The seed's frozen-dataclass event (one ``object.__setattr__``
+    per field per construction)."""
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+
+class LegacyEventQueue:
+    """The seed's queue: nested-key heap entries plus a side set of
+    cancelled sequence numbers consulted on every pop."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._cancelled: set = set()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, action: Callable[[], None], name: str = "",
+             priority: int = 0) -> LegacyEvent:
+        event = LegacyEvent(time=time, priority=priority,
+                            seq=next(self._seq), action=action, name=name)
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        self._live += 1
+        return event
+
+    def cancel(self, event: LegacyEvent) -> bool:
+        if event.seq in self._cancelled:
+            return False
+        self._cancelled.add(event.seq)
+        self._live -= 1
+        return True
+
+    def pop(self) -> Optional[LegacyEvent]:
+        while self._heap:
+            __, event = heapq.heappop(self._heap)
+            if event.seq in self._cancelled:
+                self._cancelled.discard(event.seq)
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap:
+            key, event = self._heap[0]
+            if event.seq in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard(event.seq)
+                continue
+            return key[0]
+        return None

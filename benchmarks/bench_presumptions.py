@@ -28,6 +28,7 @@ from repro.core.config import (
 )
 from repro.core.spec import ParticipantSpec, TransactionSpec
 from repro.lrm.operations import write_op
+from repro.parallel.pool import RunSpec, default_workers, run_specs
 from repro.sim.randomness import RandomStream
 
 N_TXNS = 40
@@ -116,14 +117,26 @@ def test_pn_pays_for_reliability_everywhere(benchmark):
 
 
 def test_print_presumption_sweep(benchmark, report_sink):
+    rates = (0.0, 0.1, 0.3, 0.5, 0.9)
+
     def sweep():
+        # One independent simulation per (rate, presumption) cell;
+        # results merge by grid index, so worker scheduling cannot
+        # reorder the table.
+        grid = [(rate, name, config)
+                for rate in rates for name, config in PRESUMPTIONS]
+        results = run_specs(
+            [RunSpec(fn=run_mix, args=(config, rate),
+                     label=f"{name} abort={rate}")
+             for rate, name, config in grid],
+            workers=default_workers())
         rows = []
-        for rate in (0.0, 0.1, 0.3, 0.5, 0.9):
+        for offset in range(0, len(grid), len(PRESUMPTIONS)):
+            rate = grid[offset][0]
             cells = [f"{rate:.1f}"]
-            for __, config in PRESUMPTIONS:
-                result = run_mix(config, rate)
-                cells.append(f"{result['flows']:.2f}f/"
-                             f"{result['forced']:.2f}F")
+            cells += [f"{result['flows']:.2f}f/{result['forced']:.2f}F"
+                      for result in
+                      results[offset:offset + len(PRESUMPTIONS)]]
             rows.append(cells)
         return rows
 

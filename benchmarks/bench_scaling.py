@@ -16,10 +16,17 @@ from repro.analysis.sweeps import (
     sweep_tree_depth,
     sweep_tree_size,
 )
+from repro.parallel.pool import default_workers
+
+#: Sweep cells shard across this many processes; set
+#: REPRO_SWEEP_WORKERS to parallelize (results are bit-identical to
+#: the serial run — cells merge by grid index).
+WORKERS = default_workers()
 
 
 def test_tree_size_scaling_linear(benchmark):
-    rows = benchmark(sweep_tree_size, [2, 6, 11, 16], ["pa", "pc"])
+    rows = benchmark(sweep_tree_size, [2, 6, 11, 16], ["pa", "pc"],
+                     workers=WORKERS)
     pa = {row["n"]: row for row in rows if row["presumption"] == "pa"}
     pc = {row["n"]: row for row in rows if row["presumption"] == "pc"}
     for n in (2, 6, 11, 16):
@@ -31,7 +38,7 @@ def test_tree_size_scaling_linear(benchmark):
 
 
 def test_depth_costs_latency_not_flows(benchmark):
-    rows = benchmark(sweep_tree_depth, 8, [1, 2, 7])
+    rows = benchmark(sweep_tree_depth, 8, [1, 2, 7], workers=WORKERS)
     by_shape = {row["shape"]: row for row in rows}
     chain = by_shape["fanout-1"]
     flat = by_shape["fanout-7"]
@@ -40,7 +47,8 @@ def test_depth_costs_latency_not_flows(benchmark):
 
 
 def test_read_only_fraction_linear_discount(benchmark):
-    rows = benchmark(sweep_read_only_fraction, 9, [0, 2, 4, 6, 8])
+    rows = benchmark(sweep_read_only_fraction, 9, [0, 2, 4, 6, 8],
+                     workers=WORKERS)
     flows = {row["readers"]: row["flows"] for row in rows}
     for readers in (2, 4, 6, 8):
         assert flows[readers] == flows[0] - 2 * readers
@@ -49,7 +57,7 @@ def test_read_only_fraction_linear_discount(benchmark):
 
 
 def test_link_speed_scales_latency_only(benchmark):
-    rows = benchmark(sweep_link_speed, [0.5, 2.0, 8.0])
+    rows = benchmark(sweep_link_speed, [0.5, 2.0, 8.0], workers=WORKERS)
     assert len({row["flows"] for row in rows}) == 1
     latencies = [row["latency"] for row in rows]
     assert latencies == sorted(latencies)
@@ -59,8 +67,10 @@ def test_link_speed_scales_latency_only(benchmark):
 def test_print_scaling_tables(benchmark, report_sink):
     def build():
         return (sweep_tree_size([2, 4, 8, 16], ["basic", "pa", "pn",
-                                                "pc"]),
-                sweep_read_only_fraction(9, [0, 2, 4, 6, 8]))
+                                                "pc"],
+                                workers=WORKERS),
+                sweep_read_only_fraction(9, [0, 2, 4, 6, 8],
+                                         workers=WORKERS))
 
     size_rows, ro_rows = benchmark(build)
     report_sink.append(render_table(

@@ -19,6 +19,7 @@ from repro.core.config import PRESUMED_ABORT, ProtocolConfig
 from repro.core.spec import ParticipantSpec, TransactionSpec
 from repro.log.group_commit import GroupCommitPolicy
 from repro.lrm.operations import read_op, write_op
+from repro.parallel.pool import RunSpec, default_workers, run_specs
 
 N_TXNS = 20
 ARRIVAL_GAP = 0.5     # new transaction every half unit: heavy overlap
@@ -47,7 +48,10 @@ def run_stream(config: ProtocolConfig, reader_heavy: bool = True):
         cluster.simulator.at(i * ARRIVAL_GAP, lambda i=i: start(i))
     cluster.run(max_events=2_000_000)
     committed = sum(1 for h in handles if h.committed)
-    makespan = max(h.completed_at for h in handles if h.completed_at)
+    # ``is not None``: a transaction legitimately completed at virtual
+    # time 0.0 must still count toward the makespan.
+    makespan = max(h.completed_at for h in handles
+                   if h.completed_at is not None)
     return {
         "committed": committed,
         "makespan": makespan,
@@ -81,19 +85,26 @@ def test_group_commit_trades_latency_for_io(benchmark):
 
 
 def test_print_throughput_study(benchmark, report_sink):
+    configurations = [
+        ("baseline (no read-only)",
+         PRESUMED_ABORT.with_options(read_only=False)),
+        ("PA + read-only", PRESUMED_ABORT),
+        ("PA + read-only + group commit (slow log)",
+         PRESUMED_ABORT.with_options(
+             io_latency=1.0,
+             group_commit=GroupCommitPolicy(group_size=4,
+                                            timeout=3.0))),
+    ]
+
     def sweep():
+        # Each configuration is an independent simulation; shard them
+        # across workers when REPRO_SWEEP_WORKERS asks for it.
+        results = run_specs(
+            [RunSpec(fn=run_stream, args=(config,), label=label)
+             for label, config in configurations],
+            workers=default_workers())
         rows = []
-        for label, config, kwargs in [
-            ("baseline (no read-only)",
-             PRESUMED_ABORT.with_options(read_only=False), {}),
-            ("PA + read-only", PRESUMED_ABORT, {}),
-            ("PA + read-only + group commit (slow log)",
-             PRESUMED_ABORT.with_options(
-                 io_latency=1.0,
-                 group_commit=GroupCommitPolicy(group_size=4,
-                                                timeout=3.0)), {}),
-        ]:
-            result = run_stream(config, **kwargs)
+        for (label, __), result in zip(configurations, results):
             rows.append([label, result["committed"],
                          f"{result['throughput']:.3f}",
                          f"{result['mean_latency']:.1f}",

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Perf-baseline harness: tier-1 smoke + kernel microbenchmark gate.
+
+Check mode (the default) runs the tier-1 test suite, re-measures the
+kernel microbenchmarks in smoke mode, and fails when:
+
+* event-churn throughput regresses more than ``--tolerance`` (default
+  20%, env ``REPRO_BENCH_TOLERANCE``) against the committed
+  ``BENCH_kernel.json``; or
+* the live speedup vs the frozen seed implementation falls below 1.2×
+  (the machine-independent guard — absolute events/s comparisons only
+  mean something on the machine that wrote the baseline; after moving
+  machines, re-baseline with ``--update``).
+
+Update mode (``--update``) re-measures at full size and rewrites
+``BENCH_kernel.json`` so subsequent PRs have a trajectory to regress
+against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_baseline.py           # gate
+    PYTHONPATH=src python benchmarks/run_baseline.py --update  # re-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.bench_kernel import FULL_N, SMOKE_N, measure  # noqa: E402
+
+#: Below this live current-vs-seed churn ratio the kernel optimization
+#: has regressed regardless of what machine wrote the baseline.
+MIN_LIVE_SPEEDUP = 1.2
+
+
+def run_tier1() -> bool:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    print("== tier-1 suite ==")
+    proc = subprocess.run([sys.executable, "-m", "pytest", "-x", "-q"],
+                          cwd=REPO_ROOT, env=env)
+    return proc.returncode == 0
+
+
+def update_baseline() -> int:
+    print("== measuring kernel baseline (full size) ==")
+    metrics = measure(sizes=FULL_N, repeats=3)
+    payload = {
+        "schema": 1,
+        "updated": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sizes": FULL_N,
+        "metrics": metrics,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"wrote {BASELINE_PATH}")
+    if metrics["event_churn"]["speedup"] < 1.5:
+        print(f"WARNING: event-churn speedup "
+              f"{metrics['event_churn']['speedup']}x is below the "
+              f"1.5x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+def check_baseline(tolerance: float) -> int:
+    if not BASELINE_PATH.exists():
+        print(f"no {BASELINE_PATH.name}; run with --update first",
+              file=sys.stderr)
+        return 2
+    committed = json.loads(BASELINE_PATH.read_text())
+    print("== measuring kernel microbenchmarks (smoke size) ==")
+    current = measure(sizes=SMOKE_N, repeats=3)
+
+    failures = 0
+    for name, values in current.items():
+        recorded = committed["metrics"].get(name, {}).get("eps")
+        line = f"{name}: {values['eps']:,} events/s"
+        if "speedup" in values:
+            line += f" ({values['speedup']}x vs seed impl)"
+        if recorded:
+            floor = recorded * (1.0 - tolerance)
+            line += f" [committed {recorded:,}, floor {floor:,.0f}]"
+            if name == "event_churn" and values["eps"] < floor:
+                line += "  <-- REGRESSION"
+                failures += 1
+        print(line)
+
+    live = current["event_churn"]["speedup"]
+    if live < MIN_LIVE_SPEEDUP:
+        print(f"event-churn speedup vs seed implementation is {live}x "
+              f"(< {MIN_LIVE_SPEEDUP}x) — kernel hot path has "
+              f"regressed", file=sys.stderr)
+        failures += 1
+
+    if failures:
+        print(f"\n{failures} perf gate(s) failed; if this machine is "
+              f"simply slower than the baseline machine, re-baseline "
+              f"with --update", file=sys.stderr)
+        return 1
+    print("\nperf gates OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="re-measure at full size and rewrite "
+                             "BENCH_kernel.json")
+    parser.add_argument("--skip-tests", action="store_true",
+                        help="skip the tier-1 suite")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_BENCH_TOLERANCE", "0.20")),
+                        help="allowed fractional event-churn regression "
+                             "(default 0.20)")
+    args = parser.parse_args(argv)
+
+    if not args.skip_tests and not run_tier1():
+        print("tier-1 suite failed", file=sys.stderr)
+        return 1
+    if args.update:
+        return update_baseline()
+    return check_baseline(args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,12 +5,18 @@ speed, read-only fraction — producing row dictionaries that render as
 tables or CSV.  Used by ``benchmarks/bench_scaling.py`` and available
 to downstream users who want the shape of a curve rather than one
 point.
+
+Each sweep is a grid of independent *cells*; cells are module-level
+functions so they shard across worker processes via
+:mod:`repro.parallel.pool`.  Every sweep takes ``workers`` (default:
+the ``REPRO_SWEEP_WORKERS`` environment knob, serial when unset) and
+returns rows in grid order regardless of worker scheduling.
 """
 
 from __future__ import annotations
 
 import io
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.cluster import Cluster
 from repro.core.config import (
@@ -23,6 +29,7 @@ from repro.core.config import (
 from repro.core.spec import ParticipantSpec, TransactionSpec
 from repro.lrm.operations import read_op, write_op
 from repro.net.latency import ConstantLatency
+from repro.parallel.pool import sweep
 from repro.workload.trees import balanced_tree_spec, chain_spec, flat_spec
 
 Row = Dict[str, object]
@@ -65,60 +72,88 @@ def _run_spec(config: ProtocolConfig, spec: TransactionSpec,
     }
 
 
+# ----------------------------------------------------------------------
+# Sweep cells: one independent simulation each, picklable by reference.
+# ----------------------------------------------------------------------
+def tree_size_cell(n: int, presumption: str) -> Row:
+    """One flat tree of ``n`` members under one presumption."""
+    names = [f"n{i}" for i in range(n)]
+    spec = flat_spec(names)
+    result = _run_spec(PRESUMPTIONS[presumption], spec)
+    return {"n": n, "presumption": presumption, **result}
+
+
+def tree_depth_cell(total_nodes: int, fanout: int) -> Row:
+    """One shape of a ``total_nodes``-member commit tree."""
+    names = [f"n{i}" for i in range(total_nodes)]
+    spec = (chain_spec(names) if fanout == 1
+            else balanced_tree_spec(names, fanout=fanout))
+    result = _run_spec(PRESUMED_ABORT, spec)
+    return {"shape": f"fanout-{fanout}", **result}
+
+
+def read_only_cell(n: int, readers: int) -> Row:
+    """Flat tree of ``n`` with the first ``readers`` children reading."""
+    names = [f"n{i}" for i in range(n)]
+    participants = [ParticipantSpec(node="n0",
+                                    ops=[write_op("root-key", 1)])]
+    for index, name in enumerate(names[1:]):
+        ops = ([read_op("catalogue")] if index < readers
+               else [write_op(f"k-{name}", 1)])
+        participants.append(ParticipantSpec(node=name, parent="n0",
+                                            ops=ops))
+    spec = TransactionSpec(participants=participants)
+    result = _run_spec(PRESUMED_ABORT, spec)
+    return {"readers": readers, **result}
+
+
+def link_speed_cell(delay: float, n: int) -> Row:
+    """One flat tree under one one-way link delay."""
+    names = [f"n{i}" for i in range(n)]
+    spec = flat_spec(names)
+    result = _run_spec(PRESUMED_ABORT, spec, latency=delay)
+    return {"link_delay": delay, **result}
+
+
+# ----------------------------------------------------------------------
+# Sweeps: grids of cells, dispatched through the parallel engine.
+# ----------------------------------------------------------------------
 def sweep_tree_size(sizes: Sequence[int],
                     presumptions: Sequence[str] = ("basic", "pa", "pn",
-                                                   "pc")) -> List[Row]:
+                                                   "pc"),
+                    workers: Optional[int] = None) -> List[Row]:
     """Flat trees: cost vs participant count, per presumption."""
-    rows: List[Row] = []
-    for n in sizes:
-        names = [f"n{i}" for i in range(n)]
-        for name in presumptions:
-            spec = flat_spec(names)
-            result = _run_spec(PRESUMPTIONS[name], spec)
-            rows.append({"n": n, "presumption": name, **result})
-    return rows
+    grid = [{"n": n, "presumption": name}
+            for n in sizes for name in presumptions]
+    return sweep(tree_size_cell, grid, workers=workers,
+                 label=lambda p: f"tree-size n={p['n']} "
+                                 f"{p['presumption']}")
 
 
 def sweep_tree_depth(total_nodes: int,
-                     fanouts: Sequence[int]) -> List[Row]:
+                     fanouts: Sequence[int],
+                     workers: Optional[int] = None) -> List[Row]:
     """Same node count, different shapes: latency grows with depth
     while flows stay constant (4 per edge regardless of shape)."""
-    rows: List[Row] = []
-    names = [f"n{i}" for i in range(total_nodes)]
-    for fanout in fanouts:
-        spec = (chain_spec(names) if fanout == 1
-                else balanced_tree_spec(names, fanout=fanout))
-        result = _run_spec(PRESUMED_ABORT, spec)
-        rows.append({"shape": f"fanout-{fanout}", **result})
-    return rows
+    grid = [{"total_nodes": total_nodes, "fanout": fanout}
+            for fanout in fanouts]
+    return sweep(tree_depth_cell, grid, workers=workers,
+                 label=lambda p: f"tree-depth fanout={p['fanout']}")
 
 
 def sweep_read_only_fraction(n: int,
-                             reader_counts: Sequence[int]) -> List[Row]:
+                             reader_counts: Sequence[int],
+                             workers: Optional[int] = None) -> List[Row]:
     """Flat tree of n: cost vs how many members are read-only."""
-    rows: List[Row] = []
-    names = [f"n{i}" for i in range(n)]
-    for readers in reader_counts:
-        participants = [ParticipantSpec(node="n0",
-                                        ops=[write_op("root-key", 1)])]
-        for index, name in enumerate(names[1:]):
-            ops = ([read_op("catalogue")] if index < readers
-                   else [write_op(f"k-{name}", 1)])
-            participants.append(ParticipantSpec(node=name, parent="n0",
-                                                ops=ops))
-        spec = TransactionSpec(participants=participants)
-        result = _run_spec(PRESUMED_ABORT, spec)
-        rows.append({"readers": readers, **result})
-    return rows
+    grid = [{"n": n, "readers": readers} for readers in reader_counts]
+    return sweep(read_only_cell, grid, workers=workers,
+                 label=lambda p: f"read-only readers={p['readers']}")
 
 
 def sweep_link_speed(latencies: Sequence[float],
-                     n: int = 4) -> List[Row]:
+                     n: int = 4,
+                     workers: Optional[int] = None) -> List[Row]:
     """Commit latency vs one-way link delay (flows are invariant)."""
-    rows: List[Row] = []
-    names = [f"n{i}" for i in range(n)]
-    for delay in latencies:
-        spec = flat_spec(names)
-        result = _run_spec(PRESUMED_ABORT, spec, latency=delay)
-        rows.append({"link_delay": delay, **result})
-    return rows
+    grid = [{"delay": delay, "n": n} for delay in latencies]
+    return sweep(link_speed_cell, grid, workers=workers,
+                 label=lambda p: f"link-speed delay={p['delay']}")

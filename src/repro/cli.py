@@ -6,6 +6,7 @@ Usage::
     repro-2pc figure 1..8
     repro-2pc compare            # every table cell, paper vs measured
     repro-2pc profile NAME       # run a named workload profile
+    repro-2pc sweep --study NAME --workers N [--csv]
     repro-2pc list-profiles
 """
 
@@ -23,7 +24,9 @@ from repro.analysis.scenarios import (
     run_table3_scenario,
     run_table4_scenario,
 )
+from repro.analysis.sweeps import rows_to_csv
 from repro.analysis.tables import table2_rows, table3_rows, table4_rows
+from repro.parallel.sweeps import STUDIES, run_study
 from repro.trace.figures import ALL_FIGURES
 from repro.workload.profiles import PROFILES
 
@@ -157,6 +160,22 @@ def _run_profile(name: str) -> int:
     return 0
 
 
+def _run_sweep(study: str, workers: Optional[int], csv: bool) -> int:
+    rows = run_study(study, workers=workers)
+    if not rows:
+        print("study produced no rows", file=sys.stderr)
+        return 1
+    if csv:
+        print(rows_to_csv(rows), end="")
+        return 0
+    print(render_table(
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+        title=f"Sweep study: {study} "
+              f"(workers={workers if workers else 'serial'})"))
+    return 0
+
+
 def _full_report() -> int:
     """Every table and figure, one markdown document on stdout."""
     print("# Regenerated evaluation — "
@@ -206,6 +225,17 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--max-nodes", type=int, default=6)
 
+    swp = sub.add_parser(
+        "sweep", help="run a parameter study, optionally sharded "
+                      "across worker processes")
+    swp.add_argument("--study", choices=sorted(STUDIES),
+                     default="presumptions")
+    swp.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: "
+                          "$REPRO_SWEEP_WORKERS or serial)")
+    swp.add_argument("--csv", action="store_true",
+                     help="emit CSV instead of a rendered table")
+
     sub.add_parser("report", help="regenerate every table and figure "
                                   "as one markdown report on stdout")
 
@@ -229,6 +259,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _compare_all()
     if args.command == "profile":
         return _run_profile(args.name)
+    if args.command == "sweep":
+        return _run_sweep(args.study, args.workers, args.csv)
     if args.command == "fuzz":
         from repro.fuzz import fuzz as run_fuzz
         report = run_fuzz(runs=args.runs, seed=args.seed,

@@ -64,7 +64,7 @@ PROTOCOL_RECORD_TYPES = frozenset(
     t for t in LogRecordType if t.is_tm_record)
 
 
-@dataclass
+@dataclass(slots=True)
 class LogRecord:
     """One appended log record.
 

@@ -12,7 +12,7 @@ class OpKind(Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operation:
     """One read or write against one key of one resource manager."""
 

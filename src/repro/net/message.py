@@ -59,7 +59,7 @@ class MessageType(Enum):
 _MSG_SEQ = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single network flow.
 

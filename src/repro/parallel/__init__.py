@@ -1,0 +1,38 @@
+"""Parallel execution of independent simulation runs.
+
+Benchmark sweeps and parameter studies run many *independent*
+simulations — one per ``(config, seed, workload)`` point.  This package
+shards those runs across ``concurrent.futures.ProcessPoolExecutor``
+workers while keeping the results deterministic:
+
+* run-specs are plain picklable descriptions (a module-level function
+  plus arguments), never live simulator state;
+* results are merged by spec index, never by completion order, so the
+  output list is bit-identical at ``workers=1`` and ``workers=N``;
+* ``workers=1`` (the default) runs serially in-process — no pool, no
+  pickling — which is both the deterministic reference and the fast
+  path for small sweeps.
+
+See :mod:`repro.parallel.pool` for the execution engine and
+:mod:`repro.parallel.sweeps` for the named studies behind the
+``repro-2pc sweep`` CLI subcommand.
+"""
+
+from repro.parallel.pool import (
+    RunSpec,
+    SweepExecutionError,
+    default_workers,
+    run_specs,
+    sweep,
+)
+from repro.parallel.sweeps import STUDIES, run_study
+
+__all__ = [
+    "RunSpec",
+    "SweepExecutionError",
+    "default_workers",
+    "run_specs",
+    "sweep",
+    "STUDIES",
+    "run_study",
+]

@@ -1,0 +1,146 @@
+"""Process-pool execution engine for independent simulation runs.
+
+The engine's unit of work is a :class:`RunSpec`: a module-level
+callable plus arguments, picklable by reference.  ``run_specs`` either
+executes them serially in-process (``workers`` <= 1) or shards them
+across a ``ProcessPoolExecutor`` — in both cases returning results in
+spec order, so callers can rely on ``results[i]`` belonging to
+``specs[i]`` regardless of worker scheduling.
+
+Determinism contract for run functions:
+
+* build every simulator/cluster/spec they need from their arguments
+  (never close over live state — it would not pickle anyway);
+* return values must not embed process-global counters (transaction
+  or message sequence numbers), only measurements derived from the
+  run itself.
+
+Every sweep in :mod:`repro.analysis.sweeps` and
+:mod:`repro.parallel.sweeps` follows this contract, which is what the
+``workers=1`` vs ``workers=N`` bit-identity tests assert.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Environment knob: default worker count for sweeps that do not pass
+#: one explicitly.  Unset or "1" means serial.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run.
+
+    Attributes:
+        fn: Module-level callable executing the run (picklable by
+            reference; lambdas and closures will not survive the trip
+            to a worker process).
+        args: Positional arguments.
+        kwargs: Keyword arguments.
+        label: Human-readable identifier used in error reports.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        parts = [repr(a) for a in self.args]
+        parts += [f"{k}={v!r}" for k, v in self.kwargs.items()]
+        return f"{name}({', '.join(parts)})"
+
+
+class SweepExecutionError(RuntimeError):
+    """A run-spec failed; identifies which one so sweeps are debuggable."""
+
+    def __init__(self, spec: RunSpec, index: int,
+                 cause: BaseException) -> None:
+        super().__init__(
+            f"sweep run #{index} ({spec.describe()}) failed: "
+            f"{type(cause).__name__}: {cause}")
+        self.spec = spec
+        self.index = index
+
+
+def default_workers() -> int:
+    """Worker count from the environment (``REPRO_SWEEP_WORKERS``)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _execute(spec: RunSpec) -> Any:
+    """Run one spec (this is the function shipped to worker processes)."""
+    return spec.fn(*spec.args, **spec.kwargs)
+
+
+def _pool_context():
+    """Prefer fork: specs pickle by reference, and forked children
+    inherit already-imported benchmark/test modules."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_specs(specs: Sequence[RunSpec],
+              workers: Optional[int] = None) -> List[Any]:
+    """Execute every spec and return results in spec order.
+
+    ``workers=None`` resolves from ``REPRO_SWEEP_WORKERS`` (default 1).
+    ``workers<=1`` runs serially in-process; the parallel path merges
+    by spec index, so the two are bit-identical for well-behaved run
+    functions.  A failing run raises :class:`SweepExecutionError`
+    naming the spec.
+    """
+    if workers is None:
+        workers = default_workers()
+    specs = list(specs)
+    if workers <= 1 or len(specs) <= 1:
+        results = []
+        for index, spec in enumerate(specs):
+            try:
+                results.append(_execute(spec))
+            except Exception as exc:
+                raise SweepExecutionError(spec, index, exc) from exc
+        return results
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(specs)),
+                             mp_context=_pool_context()) as executor:
+        futures = [executor.submit(_execute, spec) for spec in specs]
+        results = []
+        for index, (spec, future) in enumerate(zip(specs, futures)):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                raise SweepExecutionError(spec, index, exc) from exc
+        return results
+
+
+def sweep(fn: Callable[..., Any], grid: Sequence[Mapping[str, Any]],
+          workers: Optional[int] = None,
+          label: Optional[Callable[[Mapping[str, Any]], str]] = None
+          ) -> List[Any]:
+    """Run ``fn(**params)`` for every params mapping in ``grid``.
+
+    Results come back in grid order.  ``label`` optionally renders a
+    params mapping into a human-readable run label for error reports.
+    """
+    specs = [RunSpec(fn=fn, kwargs=dict(params),
+                     label=label(params) if label else "")
+             for params in grid]
+    return run_specs(specs, workers=workers)

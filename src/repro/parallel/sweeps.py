@@ -1,0 +1,113 @@
+"""Named sweep studies for the ``repro-2pc sweep`` CLI subcommand.
+
+Each study is a registry entry mapping a name to a function that
+builds a grid of independent simulation cells, shards them through
+:func:`repro.parallel.pool.run_specs`, and returns row dictionaries
+ready for :func:`repro.analysis.render.render_table` or CSV export.
+
+The presumption study here is the library-level counterpart of
+``benchmarks/bench_presumptions.py``: it sweeps the abort rate for
+every presumption and locates the PA/PC forced-write crossover, with
+each ``(presumption, abort_rate)`` cell running in its own worker.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.cluster import Cluster
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import write_op
+from repro.parallel.pool import sweep
+from repro.sim.randomness import RandomStream
+
+Row = Dict[str, object]
+
+
+def presumption_cell(presumption: str, abort_rate: float,
+                     n_txns: int = 40, seed: int = 17) -> Row:
+    """Mean per-transaction cost of one presumption at one abort rate.
+
+    Three-node transactions (at n=2 PC's collecting force exactly
+    cancels its saved subordinate commit force, so the PA/PC crossover
+    only appears for n >= 3); the middle subordinate vetoes with
+    probability ``abort_rate`` on a seeded stream.
+    """
+    from repro.analysis.sweeps import PRESUMPTIONS  # lazy: import cycle
+
+    config = PRESUMPTIONS[presumption]
+    cluster = Cluster(config, nodes=["c", "s1", "s2"], seed=seed)
+    rng = RandomStream(seed)
+    flows = writes = forced = 0
+    committed = 0
+    for i in range(n_txns):
+        spec = TransactionSpec(participants=[
+            ParticipantSpec(node="c", ops=[write_op(f"x{i}", i)]),
+            ParticipantSpec(node="s1", parent="c",
+                            ops=[write_op(f"y{i}", i)],
+                            veto=rng.chance(abort_rate)),
+            ParticipantSpec(node="s2", parent="c",
+                            ops=[write_op(f"z{i}", i)])])
+        handle = cluster.run_transaction(spec)
+        committed += bool(handle.committed)
+        flows += cluster.metrics.commit_flows(txn=spec.txn_id)
+        writes += cluster.metrics.total_log_writes(txn=spec.txn_id)
+        forced += cluster.metrics.forced_log_writes(txn=spec.txn_id)
+    return {
+        "presumption": presumption,
+        "abort_rate": abort_rate,
+        "committed": committed,
+        "flows": round(flows / n_txns, 3),
+        "writes": round(writes / n_txns, 3),
+        "forced": round(forced / n_txns, 3),
+    }
+
+
+def presumption_study(workers: Optional[int] = None,
+                      abort_rates: Sequence[float] = (0.0, 0.1, 0.3,
+                                                      0.5, 0.9),
+                      presumptions: Sequence[str] = ("basic", "pa", "pn",
+                                                     "pc"),
+                      n_txns: int = 40, seed: int = 17) -> List[Row]:
+    """Per-transaction cost of every presumption across abort rates."""
+    grid = [{"presumption": name, "abort_rate": rate,
+             "n_txns": n_txns, "seed": seed}
+            for rate in abort_rates for name in presumptions]
+    return sweep(presumption_cell, grid, workers=workers,
+                 label=lambda p: f"presumptions {p['presumption']} "
+                                 f"abort={p['abort_rate']}")
+
+
+def tree_size_study(workers: Optional[int] = None) -> List[Row]:
+    from repro.analysis.sweeps import sweep_tree_size  # lazy: import cycle
+    return sweep_tree_size([2, 4, 8, 16], workers=workers)
+
+
+def tree_depth_study(workers: Optional[int] = None) -> List[Row]:
+    from repro.analysis.sweeps import sweep_tree_depth  # lazy: import cycle
+    return sweep_tree_depth(8, [1, 2, 3, 7], workers=workers)
+
+
+def read_only_study(workers: Optional[int] = None) -> List[Row]:
+    from repro.analysis.sweeps import sweep_read_only_fraction  # lazy
+    return sweep_read_only_fraction(9, [0, 2, 4, 6, 8], workers=workers)
+
+
+def link_speed_study(workers: Optional[int] = None) -> List[Row]:
+    from repro.analysis.sweeps import sweep_link_speed  # lazy: import cycle
+    return sweep_link_speed([0.5, 1.0, 2.0, 4.0, 8.0], workers=workers)
+
+
+#: Registry behind ``repro-2pc sweep --study NAME``.
+STUDIES: Dict[str, Callable[..., List[Row]]] = {
+    "presumptions": presumption_study,
+    "tree-size": tree_size_study,
+    "tree-depth": tree_depth_study,
+    "read-only": read_only_study,
+    "link-speed": link_speed_study,
+}
+
+
+def run_study(name: str, workers: Optional[int] = None) -> List[Row]:
+    """Run a named study; raises KeyError for unknown names."""
+    return STUDIES[name](workers=workers)

@@ -4,17 +4,40 @@ Events are ordered by ``(time, priority, seq)``.  The monotonically
 increasing sequence number makes ordering total and therefore
 deterministic: two events scheduled for the same instant fire in the
 order they were scheduled.
+
+This module is the hottest code in the repository — every message
+delivery, timer and log flush in every simulation passes through
+``EventQueue.push``/``pop``.  The implementation therefore trades a
+little generality for speed:
+
+* ``Event`` is a plain ``__slots__`` class, not a dataclass: frozen
+  dataclasses route every constructor assignment through
+  ``object.__setattr__``, which dominates push cost at scale.
+* The heap stores flat, pre-built ``(time, priority, seq, event)``
+  entries: no ``sort_key()`` call per push, and sift comparisons
+  resolve on the scalar fields directly instead of recursing into a
+  nested key tuple (``seq`` is unique, so the trailing event is never
+  compared).
+* Cancellation is a state flag on the event itself rather than a side
+  set of sequence numbers, making the liveness check in ``pop`` /
+  ``peek_time`` a single attribute load — and making it impossible for
+  a late ``cancel`` on an already-fired event to corrupt the live
+  count (the event knows it has fired).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
+from heapq import heappop, heappush
 
-@dataclass(frozen=True)
+#: Event lifecycle states.  An event is created PENDING, moves to FIRED
+#: when ``pop`` hands it to the kernel, or to CANCELLED via ``cancel``.
+_PENDING = 0
+_FIRED = 1
+_CANCELLED = 2
+
+
 class Event:
     """A single scheduled action on the virtual clock.
 
@@ -27,14 +50,31 @@ class Event:
         name: Human-readable label used in traces and error messages.
     """
 
-    time: float
-    priority: int
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    name: str = field(compare=False, default="")
+    __slots__ = ("time", "priority", "seq", "action", "name", "_state")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 action: Callable[[], None], name: str = "") -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.name = name
+        self._state = _PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        return self._state == _FIRED
 
     def sort_key(self) -> tuple:
         return (self.time, self.priority, self.seq)
+
+    def __repr__(self) -> str:
+        return (f"Event(time={self.time!r}, priority={self.priority!r}, "
+                f"seq={self.seq!r}, name={self.name!r})")
 
 
 class EventQueue:
@@ -47,8 +87,7 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list = []
-        self._seq = itertools.count()
-        self._cancelled: set = set()
+        self._seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -60,40 +99,41 @@ class EventQueue:
     def push(self, time: float, action: Callable[[], None], name: str = "",
              priority: int = 0) -> Event:
         """Schedule ``action`` at virtual ``time`` and return its Event."""
-        event = Event(time=time, priority=priority, seq=next(self._seq),
-                      action=action, name=name)
-        heapq.heappush(self._heap, (event.sort_key(), event))
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, action, name)
+        heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
     def cancel(self, event: Event) -> bool:
         """Cancel a pending event.  Returns False if already fired/cancelled."""
-        if event.seq in self._cancelled:
+        if event._state != _PENDING:
             return False
-        self._cancelled.add(event.seq)
+        event._state = _CANCELLED
         self._live -= 1
         return True
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None if empty."""
-        while self._heap:
-            __, event = heapq.heappop(self._heap)
-            if event.seq in self._cancelled:
-                self._cancelled.discard(event.seq)
-                continue
-            self._live -= 1
-            return event
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[3]
+            if event._state == _PENDING:
+                event._state = _FIRED
+                self._live -= 1
+                return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the earliest live event, or None if empty."""
-        while self._heap:
-            key, event = self._heap[0]
-            if event.seq in self._cancelled:
-                heapq.heappop(self._heap)
-                self._cancelled.discard(event.seq)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3]._state != _PENDING:
+                heappop(heap)
                 continue
-            return key[0]
+            return entry[0]
         return None
 
     def drain(self) -> Iterator[Event]:

@@ -10,7 +10,7 @@ from repro.log.records import LogRecord
 from repro.net.message import Message
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One traced protocol event.
 

@@ -1,0 +1,97 @@
+"""Tests for the parallel sweep engine (repro.parallel)."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.analysis.sweeps import sweep_tree_size
+from repro.parallel.pool import (
+    RunSpec,
+    SweepExecutionError,
+    default_workers,
+    run_specs,
+    sweep,
+)
+from repro.parallel.sweeps import presumption_study, run_study
+
+
+# Module-level so they pickle by reference into worker processes.
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 2:
+        raise ValueError(f"injected failure for x={x}")
+    return x
+
+
+class TestRunSpecs:
+    def test_results_in_spec_order(self):
+        specs = [RunSpec(fn=_square, args=(i,)) for i in range(8)]
+        assert run_specs(specs, workers=1) == [i * i for i in range(8)]
+        assert run_specs(specs, workers=3) == [i * i for i in range(8)]
+
+    def test_serial_error_identifies_spec(self):
+        specs = [RunSpec(fn=_boom, args=(i,), label=f"run-{i}")
+                 for i in range(4)]
+        with pytest.raises(SweepExecutionError, match="run-2") as info:
+            run_specs(specs, workers=1)
+        assert info.value.index == 2
+        assert info.value.spec.args == (2,)
+
+    def test_worker_error_identifies_spec(self):
+        specs = [RunSpec(fn=_boom, args=(i,), label=f"run-{i}")
+                 for i in range(4)]
+        with pytest.raises(SweepExecutionError, match="run-2") as info:
+            run_specs(specs, workers=2)
+        assert info.value.index == 2
+        assert "injected failure" in str(info.value)
+
+    def test_sweep_grid_helper(self):
+        results = sweep(_square, [{"x": 2}, {"x": 5}], workers=1)
+        assert results == [4, 25]
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "6")
+        assert default_workers() == 6
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "junk")
+        assert default_workers() == 1
+
+
+class TestDeterministicSweeps:
+    def test_presumption_study_identical_across_worker_counts(self):
+        kwargs = dict(abort_rates=(0.0, 0.5), presumptions=("pa", "pc"),
+                      n_txns=6, seed=11)
+        serial = presumption_study(workers=1, **kwargs)
+        parallel = presumption_study(workers=4, **kwargs)
+        assert serial == parallel
+        # The study covers the grid in order.
+        labels = [(row["abort_rate"], row["presumption"])
+                  for row in serial]
+        assert labels == [(0.0, "pa"), (0.0, "pc"),
+                          (0.5, "pa"), (0.5, "pc")]
+
+    def test_tree_size_sweep_identical_across_worker_counts(self):
+        serial = sweep_tree_size([2, 4], ["pa", "pc"], workers=1)
+        parallel = sweep_tree_size([2, 4], ["pa", "pc"], workers=4)
+        assert serial == parallel
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(KeyError):
+            run_study("nonesuch")
+
+
+class TestSweepCli:
+    def test_sweep_subcommand_renders_table(self, capsys):
+        assert cli_main(["sweep", "--study", "link-speed"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep study: link-speed" in out
+        assert "link_delay" in out
+
+    def test_sweep_subcommand_csv(self, capsys):
+        assert cli_main(["sweep", "--study", "read-only", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("readers,")
+        assert len(out.strip().splitlines()) == 6  # header + 5 rows

@@ -59,6 +59,33 @@ def test_cancel_twice_returns_false():
     assert queue.cancel(event) is False
 
 
+def test_cancel_after_fire_returns_false_and_keeps_live_count():
+    """Regression: cancelling an already-popped event used to decrement
+    the live count anyway and leak its seq into the cancelled set,
+    silently corrupting later pops."""
+    queue = EventQueue()
+    fired = queue.push(1.0, lambda: None)
+    pending = queue.push(2.0, lambda: None)
+    assert queue.pop() is fired
+    assert queue.cancel(fired) is False
+    assert len(queue) == 1          # the pending event is still live
+    assert queue.peek_time() == pytest.approx(2.0)
+    assert queue.pop() is pending
+    assert len(queue) == 0
+    assert not queue
+
+
+def test_event_state_properties():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert not event.fired and not event.cancelled
+    queue.cancel(event)
+    assert event.cancelled and not event.fired
+    other = queue.push(2.0, lambda: None)
+    assert queue.pop() is other
+    assert other.fired and not other.cancelled
+
+
 def test_peek_time_skips_cancelled():
     queue = EventQueue()
     first = queue.push(1.0, lambda: None)
