@@ -1,0 +1,107 @@
+"""Observability overhead benchmark: what does watching cost?
+
+Three configurations of the same protocol workload (a stream of
+3-node Presumed Abort transactions):
+
+* **tracing off** — no tracer, no profiler: the hook lists stay empty
+  and the kernel takes its ``if hooks:`` / ``is None`` fast paths;
+* **tracing on** — a :class:`repro.obs.SpanTracer` attached, building
+  the full span tree for every transaction;
+* **profiler on** — a :class:`repro.obs.KernelProfiler` timing every
+  event handler with ``perf_counter`` pairs.
+
+The committed trajectory lives in ``BENCH_obs.json`` (written by
+``python benchmarks/run_baseline.py --update``); the check gate fails
+when the tracing-on/tracing-off throughput ratio regresses by more
+than the tolerance (default 20%), i.e. when instrumentation got
+materially more expensive relative to the uninstrumented run.  The
+kernel-level ``hot_run_until`` number is recorded alongside so the
+tracing-off path can be compared against ``BENCH_kernel.json`` — the
+observability hooks must not tax runs that never enable them.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.cluster import Cluster
+from repro.core.config import PRESUMED_ABORT
+from repro.core.spec import flat_tree
+from repro.lrm.operations import write_op
+from repro.obs import KernelProfiler, SpanTracer
+
+from benchmarks.bench_kernel import best_of, hot_run_until
+
+#: Transactions per measured run: full for the committed baseline,
+#: smoke for CI gates.
+FULL_TXNS = 400
+SMOKE_TXNS = 120
+
+
+def run_workload(n_txns: int, tracing: bool = False,
+                 profiling: bool = False) -> float:
+    """Run ``n_txns`` 3-node PA commits; return simulator events/second."""
+    cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s1", "s2"])
+    tracer = SpanTracer().attach(cluster) if tracing else None
+    profiler = KernelProfiler() if profiling else None
+    if profiler is not None:
+        cluster.simulator.set_profiler(profiler)
+    start = time.perf_counter()
+    for i in range(n_txns):
+        spec = flat_tree("c", ["s1", "s2"], txn_id=f"t{i}")
+        for participant in spec.participants:
+            participant.ops.append(write_op(f"k-{participant.node}-{i}", i))
+        cluster.run_transaction(spec)
+    elapsed = time.perf_counter() - start
+    if tracer is not None:
+        tracer.finish()
+        tracer.detach()
+    return cluster.simulator.events_processed / elapsed
+
+
+def measure(n_txns: int = SMOKE_TXNS, repeats: int = 3) -> dict:
+    """The three configurations plus the kernel-level fast-path number."""
+    off = best_of(lambda: run_workload(n_txns), repeats)
+    tracing = best_of(lambda: run_workload(n_txns, tracing=True), repeats)
+    profiling = best_of(lambda: run_workload(n_txns, profiling=True),
+                        repeats)
+    kernel = best_of(lambda: hot_run_until(100_000), repeats)
+    return {
+        "tracing_off": {"eps": round(off)},
+        "tracing_on": {
+            "eps": round(tracing),
+            "ratio": round(tracing / off, 3),
+            "overhead": round(off / tracing - 1.0, 3),
+        },
+        "profiler_on": {
+            "eps": round(profiling),
+            "ratio": round(profiling / off, 3),
+            "overhead": round(off / profiling - 1.0, 3),
+        },
+        # Comparable to BENCH_kernel.json's hot_run_until eps: the
+        # hooks-disabled kernel path with the profiler branch in place.
+        "hot_run_until": {"eps": round(kernel)},
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark timings (pytest benchmarks/bench_obs_overhead.py)
+# ----------------------------------------------------------------------
+def test_tracing_off_throughput(benchmark):
+    eps = benchmark(run_workload, SMOKE_TXNS)
+    assert eps > 0
+
+
+def test_tracing_on_throughput(benchmark):
+    eps = benchmark(run_workload, SMOKE_TXNS, True)
+    assert eps > 0
+
+
+def test_tracing_overhead_bounded():
+    """Tracing every event must not halve protocol throughput."""
+    off = best_of(lambda: run_workload(SMOKE_TXNS), repeats=2)
+    tracing = best_of(lambda: run_workload(SMOKE_TXNS, tracing=True),
+                      repeats=2)
+    assert tracing >= off * 0.5, (
+        f"span tracing costs too much: {off:,.0f} -> {tracing:,.0f} "
+        f"events/s")

@@ -35,11 +35,17 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+OBS_BASELINE_PATH = REPO_ROOT / "BENCH_obs.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT))
 
 from benchmarks.bench_kernel import FULL_N, SMOKE_N, measure  # noqa: E402
+from benchmarks.bench_obs_overhead import (  # noqa: E402
+    FULL_TXNS,
+    SMOKE_TXNS,
+    measure as measure_obs,
+)
 
 #: Below this live current-vs-seed churn ratio the kernel optimization
 #: has regressed regardless of what machine wrote the baseline.
@@ -71,6 +77,21 @@ def update_baseline() -> int:
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     print(f"wrote {BASELINE_PATH}")
+
+    print("== measuring observability overhead (full size) ==")
+    obs_metrics = measure_obs(n_txns=FULL_TXNS, repeats=3)
+    obs_payload = {
+        "schema": 1,
+        "updated": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "n_txns": FULL_TXNS,
+        "metrics": obs_metrics,
+    }
+    OBS_BASELINE_PATH.write_text(json.dumps(obs_payload, indent=2) + "\n")
+    print(json.dumps(obs_payload, indent=2))
+    print(f"wrote {OBS_BASELINE_PATH}")
+
     if metrics["event_churn"]["speedup"] < 1.5:
         print(f"WARNING: event-churn speedup "
               f"{metrics['event_churn']['speedup']}x is below the "
@@ -109,6 +130,8 @@ def check_baseline(tolerance: float) -> int:
               f"regressed", file=sys.stderr)
         failures += 1
 
+    failures += check_obs_baseline(tolerance)
+
     if failures:
         print(f"\n{failures} perf gate(s) failed; if this machine is "
               f"simply slower than the baseline machine, re-baseline "
@@ -116,6 +139,42 @@ def check_baseline(tolerance: float) -> int:
         return 1
     print("\nperf gates OK")
     return 0
+
+
+def check_obs_baseline(tolerance: float) -> int:
+    """Gate the instrumentation cost ratio against BENCH_obs.json.
+
+    The gated quantity is the tracing-on/tracing-off throughput ratio —
+    machine-independent, unlike absolute events/s.  A current ratio
+    more than ``tolerance`` below the committed one means span tracing
+    got materially more expensive per event.  Returns failure count.
+    """
+    if not OBS_BASELINE_PATH.exists():
+        print(f"no {OBS_BASELINE_PATH.name}; skipping observability "
+              f"overhead gate (run --update to create it)")
+        return 0
+    committed = json.loads(OBS_BASELINE_PATH.read_text())
+    print("== measuring observability overhead (smoke size) ==")
+    current = measure_obs(n_txns=SMOKE_TXNS, repeats=3)
+
+    failures = 0
+    for name in ("tracing_on", "profiler_on"):
+        ratio = current[name]["ratio"]
+        recorded = committed["metrics"].get(name, {}).get("ratio")
+        line = (f"{name}: {current[name]['eps']:,} events/s, "
+                f"{ratio:.3f}x of tracing-off "
+                f"(overhead {current[name]['overhead']:.1%})")
+        if recorded:
+            floor = recorded * (1.0 - tolerance)
+            line += f" [committed ratio {recorded}, floor {floor:.3f}]"
+            if name == "tracing_on" and ratio < floor:
+                line += "  <-- REGRESSION"
+                failures += 1
+        print(line)
+    print(f"tracing_off: {current['tracing_off']['eps']:,} events/s; "
+          f"hot_run_until: {current['hot_run_until']['eps']:,} events/s "
+          f"(compare BENCH_kernel.json)")
+    return failures
 
 
 def main(argv=None) -> int:

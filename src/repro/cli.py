@@ -5,8 +5,9 @@ Usage::
     repro-2pc table 1|2|3|4 [--n N] [--m M] [--r R]
     repro-2pc figure 1..8
     repro-2pc compare            # every table cell, paper vs measured
-    repro-2pc profile NAME       # run a named workload profile
-    repro-2pc sweep --study NAME --workers N [--csv]
+    repro-2pc profile NAME [--obs]   # run a named workload profile
+    repro-2pc trace NAME [--txn ID] [--format transcript|spans|chrome|json]
+    repro-2pc sweep --study NAME --workers N [--csv] [--obs]
     repro-2pc list-profiles
 """
 
@@ -140,7 +141,7 @@ def _compare_all() -> int:
     return 1 if failures else 0
 
 
-def _run_profile(name: str) -> int:
+def _run_profile(name: str, obs: bool = False) -> int:
     if name not in PROFILES:
         print(f"unknown profile {name!r}; try: "
               f"{', '.join(sorted(PROFILES))}", file=sys.stderr)
@@ -148,6 +149,10 @@ def _run_profile(name: str) -> int:
     profile = PROFILES[name]()
     print(f"{profile.name}: {profile.description}")
     cluster = profile.build_cluster()
+    tracer = None
+    if obs:
+        from repro.obs import SpanTracer
+        tracer = SpanTracer().attach(cluster)
     specs = profile.specs()
     for spec in specs:
         handle = cluster.run_transaction(spec)
@@ -157,22 +162,98 @@ def _run_profile(name: str) -> int:
     print(f"total commit flows: {cluster.metrics.commit_flows()}, "
           f"forced writes: {cluster.metrics.forced_log_writes()}, "
           f"mean lock hold: {cluster.metrics.mean_lock_hold():.2f}")
+    if tracer is not None:
+        from repro.obs import RunReport
+        tracer.finish()
+        print()
+        print(RunReport.from_run(cluster, tracer).render(
+            title=f"Run report: {name}"))
+        tracer.detach()
     return 0
 
 
-def _run_sweep(study: str, workers: Optional[int], csv: bool) -> int:
-    rows = run_study(study, workers=workers)
+def _default_trace_cluster():
+    """The canonical observability demo: one coordinator, two update
+    subordinates, Presumed Abort — the paper's Figure 2 flow/force
+    sequence."""
+    from repro.core.config import PRESUMED_ABORT
+    from repro.core.cluster import Cluster
+    from repro.core.spec import flat_tree
+    from repro.lrm.operations import write_op
+
+    cluster = Cluster(PRESUMED_ABORT, nodes=["Coord", "Sub1", "Sub2"])
+    spec = flat_tree("Coord", ["Sub1", "Sub2"], txn_id="T1")
+    for participant in spec.participants:
+        participant.ops.append(write_op(f"key-{participant.node}", 1))
+    return cluster, [spec]
+
+
+def _run_trace(name: str, txn: Optional[str], fmt: str) -> int:
+    """Run a workload under the span tracer and export the result."""
+    import json as _json
+
+    from repro.obs import (SpanTracer, render_span_tree, spans_to_chrome,
+                           spans_to_jsonl)
+    from repro.trace.recorder import Tracer
+
+    if name == "default":
+        cluster, specs = _default_trace_cluster()
+    elif name in PROFILES:
+        profile = PROFILES[name]()
+        cluster = profile.build_cluster()
+        specs = profile.specs()
+    else:
+        print(f"unknown workload {name!r}; try: default, "
+              f"{', '.join(sorted(PROFILES))}", file=sys.stderr)
+        return 2
+
+    span_tracer = SpanTracer().attach(cluster)
+    transcript_tracer = Tracer().attach(cluster) \
+        if fmt == "transcript" else None
+    for spec in specs:
+        cluster.run_transaction(spec)
+    cluster.finalize_implied_acks()
+    span_tracer.finish()
+
+    if fmt == "transcript":
+        print(transcript_tracer.transcript(txn))
+        return 0
+
+    spans = span_tracer.spans_for(txn) if txn else span_tracer.spans
+    if txn and not spans:
+        print(f"no spans for transaction {txn!r}; traced: "
+              f"{', '.join(span_tracer.txn_ids())}", file=sys.stderr)
+        return 1
+    if fmt == "spans":
+        print(render_span_tree(spans, include_events=True))
+    elif fmt == "chrome":
+        print(_json.dumps(spans_to_chrome(spans)))
+    else:  # json (JSONL, one span per line)
+        print(spans_to_jsonl(spans))
+    return 0
+
+
+def _run_sweep(study: str, workers: Optional[int], csv: bool,
+               obs: bool = False) -> int:
+    profiler = None
+    if obs:
+        from repro.obs import KernelProfiler
+        profiler = KernelProfiler()
+    rows = run_study(study, workers=workers, profiler=profiler)
     if not rows:
         print("study produced no rows", file=sys.stderr)
         return 1
     if csv:
         print(rows_to_csv(rows), end="")
-        return 0
-    print(render_table(
-        list(rows[0].keys()),
-        [list(row.values()) for row in rows],
-        title=f"Sweep study: {study} "
-              f"(workers={workers if workers else 'serial'})"))
+    else:
+        print(render_table(
+            list(rows[0].keys()),
+            [list(row.values()) for row in rows],
+            title=f"Sweep study: {study} "
+                  f"(workers={workers if workers else 'serial'})"))
+    if profiler is not None:
+        print()
+        print(profiler.render())
     return 0
 
 
@@ -217,6 +298,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     profile = sub.add_parser("profile", help="run a workload profile")
     profile.add_argument("name")
+    profile.add_argument("--obs", action="store_true",
+                         help="attach the span tracer and print a "
+                              "percentile run report")
+
+    trace = sub.add_parser(
+        "trace", help="run a workload under the span tracer and "
+                      "export the trace")
+    trace.add_argument("name",
+                       help="'default' (1 coordinator, 2 subordinates, "
+                            "Presumed Abort) or a workload profile name")
+    trace.add_argument("--txn", default=None,
+                       help="only export spans of this transaction id")
+    trace.add_argument("--format", dest="fmt", default="spans",
+                       choices=["transcript", "spans", "chrome", "json"],
+                       help="transcript: flow/log event log; spans: "
+                            "indented span tree; chrome: Chrome "
+                            "trace_event JSON (chrome://tracing, "
+                            "Perfetto); json: spans as JSONL")
 
     fuzz = sub.add_parser(
         "fuzz", help="randomized fault-injected runs with online "
@@ -235,6 +334,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "$REPRO_SWEEP_WORKERS or serial)")
     swp.add_argument("--csv", action="store_true",
                      help="emit CSV instead of a rendered table")
+    swp.add_argument("--obs", action="store_true",
+                     help="profile kernel event handling during the "
+                          "study (forces serial execution)")
 
     sub.add_parser("report", help="regenerate every table and figure "
                                   "as one markdown report on stdout")
@@ -258,9 +360,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "compare":
         return _compare_all()
     if args.command == "profile":
-        return _run_profile(args.name)
+        return _run_profile(args.name, obs=args.obs)
+    if args.command == "trace":
+        return _run_trace(args.name, args.txn, args.fmt)
     if args.command == "sweep":
-        return _run_sweep(args.study, args.workers, args.csv)
+        return _run_sweep(args.study, args.workers, args.csv, obs=args.obs)
     if args.command == "fuzz":
         from repro.fuzz import fuzz as run_fuzz
         report = run_fuzz(runs=args.runs, seed=args.seed,

@@ -53,7 +53,7 @@ class DecisionMixin:
                   + (" (all read-only)" if all_read_only else ""))
 
         if outcome == "commit":
-            context.state = TxnState.COMMITTING
+            self.transition(context, TxnState.COMMITTING)
             if all_read_only:
                 # PA logs nothing at all here; PN/PC already wrote their
                 # initiation record and close it with an END below.
@@ -71,7 +71,7 @@ class DecisionMixin:
     def _decide_abort(self: "TMNode", context: CommitContext) -> None:
         was_voting_subordinate = (context.parent is not None
                                   and not context.is_decision_maker)
-        context.state = TxnState.ABORTING
+        self.transition(context, TxnState.ABORTING)
         if self.config.presumption.value == "presumed-abort":
             # Presumed Abort: no abort record anywhere on the
             # coordinator side; absence of information means abort.
@@ -196,7 +196,7 @@ class DecisionMixin:
         if context.ro_delegation:
             # Read-only initiator learning the outcome from its last
             # agent: nothing to log, nothing to propagate.
-            context.state = TxnState.FORGOTTEN
+            self.transition(context, TxnState.FORGOTTEN)
             if context.handle is not None:
                 context.handle.complete(outcome, self.simulator.now)
             return
@@ -228,7 +228,7 @@ class DecisionMixin:
         context.outcome = outcome
         self.note(context.txn_id, f"last agent decided {outcome}")
         if outcome == "commit":
-            context.state = TxnState.COMMITTING
+            self.transition(context, TxnState.COMMITTING)
             self.log_tm(context, LogRecordType.COMMITTED,
                         payload={"children": context.yes_children(),
                                  "role": "coordinator"},
@@ -240,7 +240,7 @@ class DecisionMixin:
     def _subordinate_commit(self: "TMNode", context: CommitContext) -> None:
         context.cancel_timers()
         context.outcome = "commit"
-        context.state = TxnState.COMMITTING
+        self.transition(context, TxnState.COMMITTING)
         forced = self.config.subordinate_commit_forced
 
         def committed_durable() -> None:
@@ -275,7 +275,7 @@ class DecisionMixin:
         if context.state in (TxnState.ABORTED, TxnState.ABORTING):
             return  # we voted NO and already aborted
         context.outcome = "abort"
-        context.state = TxnState.ABORTING
+        self.transition(context, TxnState.ABORTING)
         forced = self.config.subordinate_abort_forced \
             and context.logged_anything
 
@@ -410,13 +410,13 @@ class DecisionMixin:
                         payload={"outcome": outcome})
         final = (TxnState.COMMITTED if outcome == "commit"
                  else TxnState.ABORTED)
-        context.state = final
+        self.transition(context, final)
         if context.awaiting_implied_ack:
             # Stay rememberable until the implied ack arrives; the END
             # above is withheld until then (see _needs_end).
             pass
         else:
-            context.state = TxnState.FORGOTTEN
+            self.transition(context, TxnState.FORGOTTEN)
         if context.handle is not None and not context.handle.done:
             context.handle.complete(
                 outcome, self.simulator.now,
@@ -450,7 +450,7 @@ class DecisionMixin:
                     self.log_tm(context, LogRecordType.END,
                                 payload={"outcome": context.outcome,
                                          "implied_ack": True})
-                context.state = TxnState.FORGOTTEN
+                self.transition(context, TxnState.FORGOTTEN)
                 self.note(context.txn_id,
                           f"implied ack from {partner}; forgets")
 

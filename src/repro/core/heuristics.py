@@ -87,9 +87,10 @@ class HeuristicMixin:
                 self._commit_locals(context)
             else:
                 self._heuristic_abort_locals(context)
-            context.state = (TxnState.HEURISTIC_COMMITTED
-                             if decision == "commit"
-                             else TxnState.HEURISTIC_ABORTED)
+            self.transition(context,
+                            TxnState.HEURISTIC_COMMITTED
+                            if decision == "commit"
+                            else TxnState.HEURISTIC_ABORTED)
             event = HeuristicEvent(node=self.name, txn_id=context.txn_id,
                                    decision=decision,
                                    at_time=self.simulator.now)
@@ -133,8 +134,9 @@ class HeuristicMixin:
         context.reports.append(report)
         context.outcome = outcome
         context.ack_via_recovery = via_recovery
-        context.state = (TxnState.COMMITTING if outcome == "commit"
-                         else TxnState.ABORTING)
+        self.transition(context,
+                        TxnState.COMMITTING if outcome == "commit"
+                        else TxnState.ABORTING)
         self.note(context.txn_id,
                   f"heuristic {decision} vs outcome {outcome}"
                   f"{' — DAMAGE' if damaged else ''}")

@@ -78,6 +78,12 @@ class TMNode(VotingMixin, DecisionMixin, HeuristicMixin, RecoveryMixin):
         self._deferred_outbox: Dict[str, List[Message]] = {}
         #: Trace hook: callables invoked with (node, txn_id, text).
         self.on_note: List[Callable[[str, str, str], None]] = []
+        #: Phase-boundary hook: callables invoked with
+        #: (node, txn_id, old_state, new_state) on every commit-context
+        #: state transition (old_state is None at context creation).
+        #: repro.obs builds span trees out of these.
+        self.on_transition: List[Callable[
+            [str, str, Optional[TxnState], TxnState], None]] = []
         #: Records processed by the last restart recovery (checkpoints
         #: bound this; see repro.core.checkpoint).
         self.last_recovery_scan = 0
@@ -143,11 +149,27 @@ class TMNode(VotingMixin, DecisionMixin, HeuristicMixin, RecoveryMixin):
                 f"{self.name}: context for {txn_id} already exists")
         context = CommitContext(txn_id=txn_id, node=self.name, **kwargs)
         self.contexts[txn_id] = context
+        for hook in self.on_transition:
+            hook(self.name, txn_id, None, context.state)
         return context
+
+    def transition(self, context: CommitContext, state: TxnState) -> None:
+        """Move a commit context to ``state``, firing phase hooks.
+
+        Every protocol-level state change routes through here so
+        observers (span tracers, debuggers) see the same boundaries the
+        protocol acts on.  No-op transitions are swallowed.
+        """
+        old = context.state
+        if old is state:
+            return
+        context.state = state
+        for hook in self.on_transition:
+            hook(self.name, context.txn_id, old, state)
 
     def forget(self, context: CommitContext) -> None:
         context.cancel_timers()
-        context.state = TxnState.FORGOTTEN
+        self.transition(context, TxnState.FORGOTTEN)
 
     def context_live(self, context: CommitContext) -> bool:
         """True iff this context is still the node's current state for

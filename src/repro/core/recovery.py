@@ -212,8 +212,9 @@ class RecoveryMixin:
         context.rebuilt_from_log = True
         if role == "coordinator":
             children = list(outcome_rec.get("children", []))
-            context.state = (TxnState.COMMITTING if outcome == "commit"
-                             else TxnState.ABORTING)
+            self.transition(context,
+                            TxnState.COMMITTING if outcome == "commit"
+                            else TxnState.ABORTING)
             needs_acks = (self.config.commit_needs_acks
                           if outcome == "commit"
                           else self.config.abort_needs_acks)
@@ -223,12 +224,12 @@ class RecoveryMixin:
             else:
                 self.log_tm(context, LogRecordType.END,
                             payload={"outcome": outcome, "recovery": True})
-                context.state = TxnState.FORGOTTEN
+                self.transition(context, TxnState.FORGOTTEN)
             return
         # Subordinate: our coordinator may still be waiting for the ack
         # we might never have sent.  Resend it; it is idempotent.
         coordinator = outcome_rec.get("coordinator")
-        context.state = TxnState.FORGOTTEN
+        self.transition(context, TxnState.FORGOTTEN)
         if coordinator is not None and self._ack_needed_for(outcome):
             self.send(MessageType.RECOVERY_ACK, coordinator, txn_id,
                       payload={"reports": [], "outcome_pending": False},
@@ -252,8 +253,9 @@ class RecoveryMixin:
         context.sent_yes_vote = True
         context.logged_anything = True
         context.heuristic_decision = decision
-        context.state = (TxnState.HEURISTIC_COMMITTED if decision == "commit"
-                         else TxnState.HEURISTIC_ABORTED)
+        self.transition(context,
+                        TxnState.HEURISTIC_COMMITTED if decision == "commit"
+                        else TxnState.HEURISTIC_ABORTED)
         # Re-link (or recreate) the metrics event so damage detection
         # still lands when the outcome finally arrives.
         from repro.metrics.collector import HeuristicEvent
@@ -280,7 +282,7 @@ class RecoveryMixin:
         context.recovered_records = list(recs)
         context.sent_yes_vote = True
         context.logged_anything = True
-        context.state = TxnState.PREPARED
+        self.transition(context, TxnState.PREPARED)
         if prepared is not None:
             context.parent = prepared.get("coordinator")
             context.active_children = list(prepared.get("children", []))
@@ -322,7 +324,7 @@ class RecoveryMixin:
         context.rebuilt_from_log = True
         context.logged_anything = True
         context.outcome = "abort"
-        context.state = TxnState.ABORTING
+        self.transition(context, TxnState.ABORTING)
         self.note(txn_id, "restart: undecided coordinator aborts")
 
         def drive() -> None:
@@ -336,7 +338,7 @@ class RecoveryMixin:
                               phase=Phase.RECOVERY)
                 self.log_tm(context, LogRecordType.END,
                             payload={"outcome": "abort", "recovery": True})
-                context.state = TxnState.FORGOTTEN
+                self.transition(context, TxnState.FORGOTTEN)
 
         self.log_tm(context, LogRecordType.ABORTED,
                     payload={"children": children, "role": "coordinator"},
@@ -511,8 +513,9 @@ class RecoveryMixin:
                                  outcome: str) -> None:
         """Resolve a log-rebuilt in-doubt transaction."""
         context.outcome = outcome
-        context.state = (TxnState.COMMITTING if outcome == "commit"
-                         else TxnState.ABORTING)
+        self.transition(context,
+                        TxnState.COMMITTING if outcome == "commit"
+                        else TxnState.ABORTING)
         record_type = (LogRecordType.COMMITTED if outcome == "commit"
                        else LogRecordType.ABORTED)
         forced = (self.config.subordinate_commit_forced

@@ -89,7 +89,7 @@ class VotingMixin:
     def start_voting(self: "TMNode", context: CommitContext) -> None:
         if context.state is not TxnState.ACTIVE:
             return
-        context.state = TxnState.PREPARING
+        self.transition(context, TxnState.PREPARING)
         self._start_phase_one(context)
 
     def _start_phase_one(self: "TMNode", context: CommitContext) -> None:
@@ -284,7 +284,7 @@ class VotingMixin:
 
         # Intermediate / leaf subordinate: vote upstream.
         if context.subtree_read_only() and self.config.read_only:
-            context.state = TxnState.READ_ONLY_DONE
+            self.transition(context, TxnState.READ_ONLY_DONE)
             self.send(MessageType.VOTE_READ_ONLY, context.parent,
                       context.txn_id,
                       flags={"unsolicited": context.unsolicited,
@@ -308,7 +308,7 @@ class VotingMixin:
                     for info in context.votes.values()))
 
         def voted() -> None:
-            context.state = TxnState.PREPARED
+            self.transition(context, TxnState.PREPARED)
             context.sent_yes_vote = True
             context.voted_reliable = reliable
             self.send(MessageType.VOTE_YES, context.parent, context.txn_id,
@@ -355,7 +355,7 @@ class VotingMixin:
         if context.subtree_read_only() and self.config.read_only:
             # The initiator is read-only: it may delegate without the
             # extra prepared force (paper §4, Last Agent).
-            context.state = TxnState.PREPARED
+            self.transition(context, TxnState.PREPARED)
             context.ro_delegation = True
             self.send(MessageType.VOTE_READ_ONLY, agent, context.txn_id,
                       flags={"last_agent_delegation": True,
@@ -363,7 +363,7 @@ class VotingMixin:
             return
 
         def delegated() -> None:
-            context.state = TxnState.PREPARED
+            self.transition(context, TxnState.PREPARED)
             self.send(MessageType.VOTE_YES, agent, context.txn_id,
                       flags={"last_agent_delegation": True,
                              "long_locks": long_locks_flag})

@@ -29,6 +29,7 @@ from repro.sim.kernel import Simulator, Timer
 class _ForceRequest:
     lsn: int
     callback: Optional[Callable[[], None]]
+    requested_at: float = 0.0
 
 
 class LogManager:
@@ -56,6 +57,10 @@ class LogManager:
         self.force_requests = 0
         #: Trace hooks invoked with each record as it is written.
         self.on_write: List[Callable[[LogRecord], None]] = []
+        #: Trace hooks invoked with each batch of records as the I/O
+        #: that hardens them completes (repro.obs closes log-force
+        #: spans here).
+        self.on_flush: List[Callable[[List[LogRecord]], None]] = []
 
     # ------------------------------------------------------------------
     # Writing
@@ -106,7 +111,8 @@ class LogManager:
     def _request_force(self, lsn: int,
                        callback: Optional[Callable[[], None]]) -> None:
         self.force_requests += 1
-        self._pending_forces.append(_ForceRequest(lsn, callback))
+        self._pending_forces.append(
+            _ForceRequest(lsn, callback, requested_at=self.simulator.now))
         if len(self._pending_forces) >= self.group_commit.group_size:
             self._start_io()
         elif self.group_commit.timeout is not None:
@@ -135,6 +141,10 @@ class LogManager:
             if epoch != self._crash_epoch:
                 return  # the node crashed while this I/O was in flight
             self._io_in_flight = False
+            now = self.simulator.now
+            for request in satisfied:
+                self.metrics.record_force_latency(
+                    self.node_name, now - request.requested_at)
             self._flush_to(flush_lsn)
             for request in satisfied:
                 if request.callback is not None:
@@ -152,6 +162,9 @@ class LogManager:
         durable = [r for r in self._buffer if r.lsn <= lsn]
         self._buffer = [r for r in self._buffer if r.lsn > lsn]
         self.stable.append(durable)
+        if durable:
+            for hook in self.on_flush:
+                hook(durable)
 
     # ------------------------------------------------------------------
     # Crash / recovery

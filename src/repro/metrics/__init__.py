@@ -14,10 +14,14 @@ from repro.metrics.collector import (
     MetricsSnapshot,
     TransactionRecord,
 )
+from repro.metrics.histogram import DEFAULT_BOUNDS, Histogram, geometric_bounds
 
 __all__ = [
     "CostSummary",
+    "DEFAULT_BOUNDS",
+    "geometric_bounds",
     "HeuristicEvent",
+    "Histogram",
     "MetricsCollector",
     "MetricsSnapshot",
     "TaggedCounter",

@@ -64,15 +64,26 @@ class CostSummary:
 
 
 class MetricsSnapshot:
-    """Frozen counter state, for windowed (e.g. per-transaction) diffs."""
+    """Frozen collector state, for windowed (e.g. per-transaction) diffs.
+
+    Counters are snapshotted by value; list-valued metrics
+    (transactions, heuristics, lock holds, force latencies) are
+    append-only, so remembering their lengths is enough to window them.
+    """
 
     def __init__(self, flows: Dict, drops: Dict, log_writes: Dict,
-                 log_ios: Dict, local_flows: Dict) -> None:
+                 log_ios: Dict, local_flows: Dict,
+                 n_transactions: int = 0, n_heuristics: int = 0,
+                 n_lock_holds: int = 0, n_force_latencies: int = 0) -> None:
         self.flows = flows
         self.drops = drops
         self.log_writes = log_writes
         self.log_ios = log_ios
         self.local_flows = local_flows
+        self.n_transactions = n_transactions
+        self.n_heuristics = n_heuristics
+        self.n_lock_holds = n_lock_holds
+        self.n_force_latencies = n_force_latencies
 
 
 class MetricsCollector:
@@ -85,6 +96,15 @@ class MetricsCollector:
     LOCAL_DIMS = ("node", "kind", "txn")
 
     def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop every recorded quantity (fresh-run state).
+
+        Long-lived clusters (sweep cells reusing one cluster, the CLI's
+        chained profiles) call this between measurement windows instead
+        of rebuilding the whole topology.
+        """
         self.flows = TaggedCounter(self.FLOW_DIMS)
         self.drops = TaggedCounter(self.DROP_DIMS)
         self.log_writes = TaggedCounter(self.LOG_DIMS)
@@ -96,6 +116,10 @@ class MetricsCollector:
         self.transactions: List[TransactionRecord] = []
         self.heuristics: List[HeuristicEvent] = []
         self.lock_holds: List[float] = []
+        #: (node, duration) per satisfied force request — the virtual
+        #: time between requesting a force and its I/O completing
+        #: (group commit makes this longer than io_latency).
+        self.force_latencies: List[tuple] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -127,6 +151,11 @@ class MetricsCollector:
         if duration < 0:
             raise ValueError(f"negative lock hold duration: {duration}")
         self.lock_holds.append(duration)
+
+    def record_force_latency(self, node: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative force latency: {duration}")
+        self.force_latencies.append((node, duration))
 
     # ------------------------------------------------------------------
     # Queries (the quantities the paper's tables report)
@@ -228,13 +257,18 @@ class MetricsCollector:
             log_writes=self.log_writes.snapshot(),
             log_ios=self.log_ios.snapshot(),
             local_flows=self.local_flows.snapshot(),
+            n_transactions=len(self.transactions),
+            n_heuristics=len(self.heuristics),
+            n_lock_holds=len(self.lock_holds),
+            n_force_latencies=len(self.force_latencies),
         )
 
     def since(self, earlier: MetricsSnapshot) -> "MetricsCollector":
         """A collector view holding only increments since ``earlier``.
 
-        List-valued metrics (transactions, heuristics, lock holds) are
-        not windowed; use counters for windowed comparisons.
+        Counters come back as diffs; list-valued metrics (transactions,
+        heuristics, lock holds, force latencies) come back sliced to
+        the entries appended after the snapshot.
         """
         window = MetricsCollector()
         window.flows = self.flows.diff(earlier.flows)
@@ -242,4 +276,9 @@ class MetricsCollector:
         window.log_writes = self.log_writes.diff(earlier.log_writes)
         window.log_ios = self.log_ios.diff(earlier.log_ios)
         window.local_flows = self.local_flows.diff(earlier.local_flows)
+        window.transactions = self.transactions[earlier.n_transactions:]
+        window.heuristics = self.heuristics[earlier.n_heuristics:]
+        window.lock_holds = self.lock_holds[earlier.n_lock_holds:]
+        window.force_latencies = \
+            self.force_latencies[earlier.n_force_latencies:]
         return window

@@ -1,0 +1,197 @@
+"""Fixed-bucket latency histogram.
+
+The paper's evaluation reports means, but a production system lives
+and dies by its tails: a Presumed Abort commit whose p99 is dominated
+by one slow log force looks identical to a healthy one on averages.
+:class:`Histogram` keeps a fixed geometric bucket ladder (no
+allocation per observation, mergeable across sweep workers) plus
+exact count/sum/min/max, and answers percentile queries by linear
+interpolation inside the winning bucket.
+
+Values are virtual-time durations (the simulator's unit), but nothing
+here assumes a unit — the kernel profiler reuses it for wall-clock
+seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def geometric_bounds(lo: float = 0.001, hi: float = 100_000.0,
+                     per_decade: int = 5) -> Tuple[float, ...]:
+    """Bucket upper bounds growing by a constant factor, lo..hi."""
+    if lo <= 0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo} hi={hi}")
+    bounds: List[float] = []
+    factor = 10.0 ** (1.0 / per_decade)
+    value = lo
+    while value < hi:
+        bounds.append(value)
+        value *= factor
+    bounds.append(hi)
+    return tuple(bounds)
+
+
+#: Default ladder: 0.001 .. 100k virtual time units, 5 buckets/decade.
+#: Covers everything the simulator produces (io_latency defaults to
+#: 0.1, link latency to 1.0, satellite links to ~50).
+DEFAULT_BOUNDS = geometric_bounds()
+
+
+class Histogram:
+    """Counts observations into a fixed ladder of buckets.
+
+    ``bounds[i]`` is the *inclusive upper* edge of bucket ``i``; one
+    extra overflow bucket catches everything above ``bounds[-1]``.
+    Zero (and negative) observations land in bucket 0.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be a sorted, "
+                             "non-empty sequence")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        self.counts[self._bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def _bucket_index(self, value: float) -> int:
+        # Binary search over the (small, fixed) ladder.
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in [0, 1].
+
+        Interpolates linearly within the bucket containing the target
+        rank; exact min/max clamp the ends so p0/p100 are not bucket
+        artifacts.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count < target:
+                seen += bucket_count
+                continue
+            lower = self.bounds[index - 1] if index > 0 else 0.0
+            upper = (self.bounds[index] if index < len(self.bounds)
+                     else self.max)
+            lower = max(lower, self.min)
+            upper = min(upper, self.max)
+            if upper <= lower:
+                return upper
+            fraction = (target - seen) / bucket_count
+            return lower + fraction * (upper - lower)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    # ------------------------------------------------------------------
+    # Combination / serialisation
+    # ------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram (same ladder) into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different "
+                             "bucket bounds")
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def summary(self) -> Dict[str, float]:
+        """The stat block sweeps persist: count/mean/percentiles/max."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "p50": round(self.p50, 6),
+            "p90": round(self.p90, 6),
+            "p99": round(self.p99, 6),
+            "max": round(self.max or 0.0, 6),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full serialisation (buckets included) for JSON persistence."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Histogram":
+        histogram = cls(bounds=data["bounds"])  # type: ignore[arg-type]
+        histogram.counts = list(data["counts"])  # type: ignore[arg-type]
+        histogram.count = int(data["count"])  # type: ignore[arg-type]
+        histogram.total = float(data["total"])  # type: ignore[arg-type]
+        histogram.min = data["min"]  # type: ignore[assignment]
+        histogram.max = data["max"]  # type: ignore[assignment]
+        return histogram
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "<Histogram empty>"
+        return (f"<Histogram n={self.count} mean={self.mean:.3f} "
+                f"p50={self.p50:.3f} p99={self.p99:.3f} "
+                f"max={self.max:.3f}>")

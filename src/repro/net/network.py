@@ -46,6 +46,9 @@ class Network:
         self.sent = 0
         #: Trace hooks invoked with each message actually transmitted.
         self.on_send: list = []
+        #: Trace hooks invoked with each message as it reaches a live
+        #: destination (repro.obs closes message-wait spans here).
+        self.on_deliver: list = []
 
     # ------------------------------------------------------------------
     # Topology management
@@ -140,4 +143,6 @@ class Network:
                                      message.src)
             return
         self.delivered += 1
+        for hook in self.on_deliver:
+            hook(message)
         self._handlers[message.dst](message)

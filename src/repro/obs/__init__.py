@@ -1,0 +1,39 @@
+"""Observability layer: span tracing, run reports, kernel profiling.
+
+Strictly a consumer of hooks exposed by the lower layers (``core``,
+``log``, ``net``, ``sim``) — nothing below imports this package, and a
+cluster with no tracer attached does zero observability work.
+
+* :class:`SpanTracer` — per-transaction span trees from protocol
+  state transitions, log forces and message deliveries; exportable as
+  text, JSONL, or Chrome ``trace_event`` JSON (see
+  ``docs/OBSERVABILITY.md``).
+* :class:`RunReport` — latency/lock/log-force percentile summaries.
+* :class:`KernelProfiler` — opt-in wall-clock profile of simulator
+  event handlers, grouped by event type.
+"""
+
+from repro.obs.profiler import KernelProfiler
+from repro.obs.report import RunReport
+from repro.obs.span import (KIND_LOG, KIND_MESSAGE, KIND_PHASE, KIND_TXN,
+                            Span, build_tree, render_span_tree,
+                            spans_from_jsonl, spans_to_chrome,
+                            spans_to_jsonl)
+from repro.obs.tracer import PHASE_OF_STATE, SpanTracer
+
+__all__ = [
+    "KernelProfiler",
+    "KIND_LOG",
+    "KIND_MESSAGE",
+    "KIND_PHASE",
+    "KIND_TXN",
+    "PHASE_OF_STATE",
+    "RunReport",
+    "Span",
+    "SpanTracer",
+    "build_tree",
+    "render_span_tree",
+    "spans_from_jsonl",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+]

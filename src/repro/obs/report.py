@@ -1,0 +1,128 @@
+"""RunReport: the percentile view of one simulation run.
+
+The paper's tables report per-transaction *counts* (flows, log writes,
+forced writes); a commercial operator also wants *distributions* —
+what did commit latency, lock hold time and log-force latency look
+like at the tail?  :class:`RunReport` pulls both out of a cluster's
+:class:`~repro.metrics.collector.MetricsCollector` (plus, optionally,
+phase durations from an attached
+:class:`~repro.obs.tracer.SpanTracer`) into histograms, renders a
+summary table, and serialises to JSON for sweep persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.metrics.histogram import Histogram
+
+
+class RunReport:
+    """Distribution summary of one run."""
+
+    def __init__(self) -> None:
+        #: name -> Histogram; insertion order is render order.
+        self.distributions: Dict[str, Histogram] = {}
+        #: scalar counters shown under the table.
+        self.counters: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_run(cls, cluster, tracer=None) -> "RunReport":
+        """Build from a finished cluster (and optional span tracer)."""
+        report = cls()
+        metrics = cluster.metrics
+
+        latency = Histogram()
+        for record in metrics.transactions:
+            latency.record(record.latency)
+        report.distributions["txn latency"] = latency
+
+        locks = Histogram()
+        locks.record_many(metrics.lock_holds)
+        report.distributions["lock hold"] = locks
+
+        forces = Histogram()
+        forces.record_many(d for __, d in metrics.force_latencies)
+        report.distributions["log-force latency"] = forces
+
+        if tracer is not None:
+            for phase, durations in sorted(
+                    tracer.phase_durations().items()):
+                histogram = Histogram()
+                histogram.record_many(durations)
+                report.distributions[f"phase: {phase}"] = histogram
+
+        outcomes: Dict[str, int] = {}
+        for record in metrics.transactions:
+            outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
+        report.counters = {
+            "transactions": len(metrics.transactions),
+            "commits": outcomes.get("commit", 0),
+            "aborts": outcomes.get("abort", 0),
+            "heuristic decisions": len(metrics.heuristics),
+            "commit flows": metrics.commit_flows(),
+            "log writes": metrics.total_log_writes(),
+            "forced writes": metrics.forced_log_writes(),
+            "physical log I/Os": metrics.physical_ios(),
+        }
+        return report
+
+    def add_distribution(self, name: str, histogram: Histogram) -> None:
+        self.distributions[name] = histogram
+
+    # ------------------------------------------------------------------
+    # Rendering / serialisation
+    # ------------------------------------------------------------------
+    def rows(self) -> List[List[str]]:
+        rows = []
+        for name, histogram in self.distributions.items():
+            if not histogram.count:
+                rows.append([name, "0", "-", "-", "-", "-", "-"])
+                continue
+            rows.append([
+                name,
+                str(histogram.count),
+                f"{histogram.mean:.3f}",
+                f"{histogram.p50:.3f}",
+                f"{histogram.p90:.3f}",
+                f"{histogram.p99:.3f}",
+                f"{histogram.max:.3f}",
+            ])
+        return rows
+
+    def render(self, title: str = "Run report") -> str:
+        from repro.analysis.render import render_table
+        table = render_table(
+            ["distribution", "n", "mean", "p50", "p90", "p99", "max"],
+            self.rows(), title=title)
+        counter_lines = "\n".join(
+            f"  {name}: {value}" for name, value in self.counters.items())
+        return f"{table}\n{counter_lines}" if counter_lines else table
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "distributions": {name: histogram.summary()
+                              for name, histogram in
+                              self.distributions.items()},
+            "counters": dict(self.counters),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def merge(self, other: "RunReport") -> "RunReport":
+        """Fold another report in (sweep workers merge per-cell reports)."""
+        for name, histogram in other.distributions.items():
+            mine = self.distributions.get(name)
+            if mine is None:
+                fresh = Histogram(bounds=histogram.bounds)
+                self.distributions[name] = fresh.merge(histogram)
+            else:
+                mine.merge(histogram)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        return self

@@ -108,6 +108,18 @@ STUDIES: Dict[str, Callable[..., List[Row]]] = {
 }
 
 
-def run_study(name: str, workers: Optional[int] = None) -> List[Row]:
-    """Run a named study; raises KeyError for unknown names."""
-    return STUDIES[name](workers=workers)
+def run_study(name: str, workers: Optional[int] = None,
+              profiler=None) -> List[Row]:
+    """Run a named study; raises KeyError for unknown names.
+
+    ``profiler`` (a :class:`repro.obs.KernelProfiler`) is activated for
+    the duration of the study so every simulator the cells build
+    profiles into it.  The profiler accumulates in-process, so it
+    forces the study serial — worker processes would profile into
+    their own copies and throw them away.
+    """
+    study = STUDIES[name]
+    if profiler is None:
+        return study(workers=workers)
+    with profiler:
+        return study(workers=1)

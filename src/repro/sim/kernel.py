@@ -13,6 +13,7 @@ layers above.  It offers:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, List, Optional
 
 from repro.sim.events import Event, EventQueue
@@ -21,6 +22,17 @@ from repro.sim.randomness import RandomStream, StreamFactory
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, runaway loops)."""
+
+
+class KernelProfilerProtocol:
+    """What the kernel asks of a profiler (see repro.obs.profiler).
+
+    Defined here, duck-typed, so the simulator layer never imports the
+    observability layer.
+    """
+
+    def record(self, event: Event, seconds: float) -> None:
+        raise NotImplementedError
 
 
 class Timer:
@@ -56,11 +68,18 @@ class Simulator:
     #: caller raises the limit explicitly.
     DEFAULT_MAX_EVENTS = 5_000_000
 
+    #: Class-level opt-in profiler: simulators built while this is set
+    #: (e.g. inside sweep cells the caller cannot reach) profile into
+    #: it.  ``None`` — the default — keeps the run loop on the same
+    #: branch-per-event fast path as the trace-hook skip.
+    default_profiler: Optional["KernelProfilerProtocol"] = None
+
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self._queue = EventQueue()
         self._streams = StreamFactory(seed)
         self._event_hooks: List[Callable[[Event], None]] = []
+        self._profiler = Simulator.default_profiler
         self.events_processed = 0
 
     # ------------------------------------------------------------------
@@ -108,6 +127,20 @@ class Simulator:
         """Register a hook invoked before every event fires (tracing)."""
         self._event_hooks.append(hook)
 
+    def set_profiler(self,
+                     profiler: Optional["KernelProfilerProtocol"]) -> None:
+        """Install (or with ``None`` remove) an event-handling profiler.
+
+        The profiler's ``record(event, seconds)`` is called with the
+        wall-clock cost of every event action.  Takes effect on the
+        next ``run()``/``step()`` entry.
+        """
+        self._profiler = profiler
+
+    @property
+    def profiler(self) -> Optional["KernelProfilerProtocol"]:
+        return self._profiler
+
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
         event = self._queue.pop()
@@ -122,7 +155,13 @@ class Simulator:
         if self._event_hooks:
             for hook in self._event_hooks:
                 hook(event)
-        event.action()
+        profiler = self._profiler
+        if profiler is None:
+            event.action()
+        else:
+            began = perf_counter()
+            event.action()
+            profiler.record(event, perf_counter() - began)
         return True
 
     def run(self, max_events: Optional[int] = None) -> None:
@@ -135,6 +174,7 @@ class Simulator:
         limit = max_events if max_events is not None else self.DEFAULT_MAX_EVENTS
         pop = self._queue.pop
         hooks = self._event_hooks
+        profiler = self._profiler
         fired = 0
         while True:
             event = pop()
@@ -150,7 +190,12 @@ class Simulator:
             if hooks:
                 for hook in hooks:
                     hook(event)
-            event.action()
+            if profiler is None:
+                event.action()
+            else:
+                began = perf_counter()
+                event.action()
+                profiler.record(event, perf_counter() - began)
             fired += 1
             if fired >= limit:
                 raise SimulationError(

@@ -14,6 +14,10 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.trace.recorder import TraceEvent
 
+#: The dataclass's own field names, used to reject unknown keys with a
+#: line-numbered ValueError instead of a bare TypeError from **kwargs.
+_EVENT_FIELDS = frozenset(TraceEvent.__dataclass_fields__)
+
 
 def export_events(events: Iterable[TraceEvent]) -> str:
     """Serialise events to JSON-lines (one event per line)."""
@@ -31,7 +35,20 @@ def import_events(text: str) -> List[TraceEvent]:
             data = json.loads(line)
         except json.JSONDecodeError as error:
             raise ValueError(f"line {lineno}: invalid JSON: {error}")
-        events.append(TraceEvent(**data))
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"line {lineno}: expected a JSON object, "
+                f"got {type(data).__name__}")
+        unknown = set(data) - _EVENT_FIELDS
+        if unknown:
+            raise ValueError(
+                f"line {lineno}: unknown trace event field(s): "
+                f"{', '.join(sorted(unknown))}")
+        try:
+            events.append(TraceEvent(**data))
+        except TypeError as error:
+            # Missing required fields (time/kind/node/text).
+            raise ValueError(f"line {lineno}: invalid trace event: {error}")
     return events
 
 

@@ -45,19 +45,52 @@ class Tracer:
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
         self._cluster: Optional[Cluster] = None
+        #: (hook list, installed callable) pairs, so detach() removes
+        #: exactly what attach() added.
+        self._installed: List[tuple] = []
 
     def attach(self, cluster: Cluster) -> "Tracer":
+        """Install hooks on the cluster.
+
+        Re-attaching to the same cluster is a no-op (hooks are never
+        installed twice); attaching to a different cluster while still
+        attached is an error — call :meth:`detach` first.
+        """
+        if self._cluster is cluster:
+            return self
+        if self._cluster is not None:
+            raise RuntimeError("Tracer is already attached to a different "
+                               "cluster; detach() first")
         self._cluster = cluster
-        cluster.network.on_send.append(self._on_flow)
+
+        def install(hook_list: list, hook) -> None:
+            hook_list.append(hook)
+            self._installed.append((hook_list, hook))
+
+        install(cluster.network.on_send, self._on_flow)
         for node in cluster.nodes.values():
-            node.log.on_write.append(
-                lambda record, node=node: self._on_log(record))
-            node.on_note.append(self._on_note)
+            install(node.log.on_write,
+                    lambda record, node=node: self._on_log(record))
+            install(node.on_note, self._on_note)
             for rm in node.detached_rms.values():
                 if rm.log is not node.log:
-                    rm.log.on_write.append(
-                        lambda record: self._on_log(record))
+                    install(rm.log.on_write,
+                            lambda record: self._on_log(record))
         return self
+
+    def detach(self) -> None:
+        """Remove every installed hook; keeps collected events (idempotent)."""
+        for hook_list, hook in self._installed:
+            try:
+                hook_list.remove(hook)
+            except ValueError:
+                pass  # hook list was externally cleared; nothing to do
+        self._installed = []
+        self._cluster = None
+
+    @property
+    def attached(self) -> bool:
+        return self._cluster is not None
 
     # ------------------------------------------------------------------
     def _now(self) -> float:

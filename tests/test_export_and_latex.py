@@ -99,3 +99,26 @@ class TestLatex:
     def test_table3_and_4_latex_render(self):
         assert "tab:table3" in table3_latex(n=5, m=2)
         assert "tab:table4" in table4_latex(r=4)
+
+
+class TestImportValidation:
+    def test_unknown_field_names_line_and_field(self):
+        good = ('{"time": 1.0, "kind": "note", "node": "a", '
+                '"text": "x", "dst": null, "forced": null, '
+                '"txn_id": null}')
+        bad = ('{"time": 2.0, "kind": "note", "node": "a", '
+               '"text": "x", "bogus": 1, "extra": 2}')
+        with pytest.raises(ValueError,
+                           match="line 2: unknown trace event "
+                                 "field.s.: bogus, extra"):
+            import_events(good + "\n" + bad)
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(ValueError, match="line 1: expected a JSON "
+                                             "object, got list"):
+            import_events('[1, 2, 3]')
+
+    def test_missing_required_field_names_line(self):
+        with pytest.raises(ValueError, match="line 1: invalid trace "
+                                             "event"):
+            import_events('{"time": 1.0}')

@@ -9,6 +9,7 @@ from repro.metrics.collector import (
     TransactionRecord,
 )
 from repro.metrics.counters import TaggedCounter
+from repro.metrics.histogram import Histogram, geometric_bounds
 
 
 class TestTaggedCounter:
@@ -131,3 +132,102 @@ class TestCostSummary:
         assert summary.as_tuple() == (4, 5, 3)
         assert "4 flows" in str(summary)
         assert "3 forced" in str(summary)
+
+
+class TestResetAndWindowing:
+    def test_reset_clears_everything(self, metrics):
+        metrics.record_flow("commit", "prepare", "c", "t1")
+        metrics.record_log_write("c", "committed", True, "t1")
+        metrics.record_log_io("c")
+        metrics.record_transaction(TransactionRecord(
+            txn_id="t1", outcome="commit", started_at=0.0, finished_at=1.0))
+        metrics.record_heuristic(HeuristicEvent("c", "t1", "commit", 1.0))
+        metrics.record_lock_hold(2.0)
+        metrics.record_force_latency("c", 0.5)
+        metrics.reset()
+        assert metrics.commit_flows() == 0
+        assert metrics.total_log_writes() == 0
+        assert metrics.physical_ios() == 0
+        assert metrics.transactions == []
+        assert metrics.heuristics == []
+        assert metrics.lock_holds == []
+        assert metrics.force_latencies == []
+
+    def test_since_windows_list_metrics(self, metrics):
+        metrics.record_transaction(TransactionRecord(
+            txn_id="t1", outcome="commit", started_at=0.0, finished_at=2.0))
+        metrics.record_lock_hold(1.0)
+        metrics.record_force_latency("c", 0.25)
+        metrics.record_heuristic(HeuristicEvent("c", "t1", "commit", 1.0))
+        snap = metrics.snapshot()
+        metrics.record_transaction(TransactionRecord(
+            txn_id="t2", outcome="abort", started_at=2.0, finished_at=6.0))
+        metrics.record_lock_hold(3.0)
+        metrics.record_force_latency("s", 0.75)
+        window = metrics.since(snap)
+        assert [t.txn_id for t in window.transactions] == ["t2"]
+        assert window.lock_holds == [3.0]
+        assert window.force_latencies == [("s", 0.75)]
+        assert window.heuristics == []
+        assert window.mean_latency() == pytest.approx(4.0)
+        # The source collector is untouched by windowing.
+        assert len(metrics.transactions) == 2
+
+    def test_negative_force_latency_rejected(self, metrics):
+        with pytest.raises(ValueError):
+            metrics.record_force_latency("c", -0.1)
+
+
+class TestHistogram:
+    def test_percentiles_of_uniform_data(self):
+        histogram = Histogram()
+        histogram.record_many(float(i) for i in range(1, 101))
+        assert histogram.count == 100
+        assert histogram.mean == pytest.approx(50.5)
+        assert histogram.max == 100.0
+        # Bucketed percentiles are approximate: the interpolated value
+        # must land within the right bucket's neighbourhood.
+        assert histogram.p50 == pytest.approx(50.0, rel=0.35)
+        assert histogram.p99 == pytest.approx(99.0, rel=0.35)
+        assert histogram.p50 <= histogram.p90 <= histogram.p99
+
+    def test_empty_histogram_is_zero(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.p99 == 0.0
+        assert histogram.summary()["max"] == 0.0
+
+    def test_percentile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+    def test_bounds_must_be_sorted_and_positive(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[3.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            geometric_bounds(10.0, 1.0)
+
+    def test_merge_requires_matching_bounds(self):
+        left = Histogram(bounds=geometric_bounds(0.1, 10.0, 4))
+        right = Histogram()
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_merge_accumulates(self):
+        left, right = Histogram(), Histogram()
+        left.record_many([1.0, 2.0])
+        right.record_many([3.0, 4.0])
+        merged = left.merge(right)
+        assert merged is left  # in-place fold, chainable
+        assert merged.count == 4
+        assert merged.mean == pytest.approx(2.5)
+        assert merged.max == 4.0
+        assert right.count == 2  # the folded-in histogram is untouched
+
+    def test_round_trips_through_dict(self):
+        histogram = Histogram()
+        histogram.record_many([0.5, 5.0, 50.0])
+        restored = Histogram.from_dict(histogram.to_dict())
+        assert restored.count == histogram.count
+        assert restored.summary() == histogram.summary()

@@ -126,3 +126,52 @@ def test_tracer_covers_detached_rm_logs():
     cluster.run_transaction(spec)
     assert any(e.kind == "log" and e.text.startswith("lrm-")
                for e in tracer.events)
+
+
+class TestAttachDetach:
+    def build(self):
+        return Cluster(PRESUMED_ABORT, nodes=["a", "b"])
+
+    def hook_count(self, cluster):
+        total = len(cluster.network.on_send)
+        for node in cluster.nodes.values():
+            total += len(node.on_note) + len(node.log.on_write)
+        return total
+
+    def test_reattach_same_cluster_is_noop(self):
+        cluster = self.build()
+        tracer = Tracer().attach(cluster)
+        hooks = self.hook_count(cluster)
+        assert tracer.attach(cluster) is tracer
+        assert self.hook_count(cluster) == hooks
+
+    def test_attach_elsewhere_while_attached_raises(self):
+        tracer = Tracer().attach(self.build())
+        with pytest.raises(RuntimeError, match="detach"):
+            tracer.attach(self.build())
+
+    def test_detach_stops_recording_and_allows_reattach(self):
+        cluster = self.build()
+        tracer = Tracer().attach(cluster)
+        assert tracer.attached
+        tracer.detach()
+        assert not tracer.attached
+        assert self.hook_count(cluster) == 0
+        cluster.run_transaction(updating_spec("a", ["b"]))
+        assert tracer.events == []
+        tracer.attach(cluster)  # reattach after detach is legal
+        cluster.run_transaction(updating_spec("a", ["b"], txn_id="t2"))
+        assert tracer.events
+        tracer.detach()
+        tracer.detach()  # idempotent
+
+    def test_detach_only_removes_own_hooks(self):
+        cluster = self.build()
+        other_calls = []
+        cluster.network.on_send.append(
+            lambda message: other_calls.append(message))
+        tracer = Tracer().attach(cluster)
+        tracer.detach()
+        assert len(cluster.network.on_send) == 1
+        cluster.run_transaction(updating_spec("a", ["b"]))
+        assert other_calls
