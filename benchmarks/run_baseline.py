@@ -177,11 +177,26 @@ def check_obs_baseline(tolerance: float) -> int:
     return failures
 
 
+def run_torture_matrix() -> int:
+    """Full crash-point torture matrix: every config x variant cell,
+    every recorded site, both pre and post sides.  Any failing site is
+    a correctness regression, so this gate has no tolerance."""
+    from repro.torture import torture_sweep
+    print("== crash-point torture matrix (full) ==")
+    report = torture_sweep(seed=0)
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
                         help="re-measure at full size and rewrite "
                              "BENCH_kernel.json")
+    parser.add_argument("--torture", action="store_true",
+                        help="also run the full crash-point torture "
+                             "matrix (repro-2pc torture) as a "
+                             "zero-tolerance correctness gate")
     parser.add_argument("--skip-tests", action="store_true",
                         help="skip the tier-1 suite")
     parser.add_argument("--tolerance", type=float,
@@ -194,6 +209,11 @@ def main(argv=None) -> int:
     if not args.skip_tests and not run_tier1():
         print("tier-1 suite failed", file=sys.stderr)
         return 1
+    if args.torture:
+        status = run_torture_matrix()
+        if status:
+            print("torture matrix found failing sites", file=sys.stderr)
+            return status
     if args.update:
         return update_baseline()
     return check_baseline(args.tolerance)

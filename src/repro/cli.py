@@ -8,6 +8,9 @@ Usage::
     repro-2pc profile NAME [--obs]   # run a named workload profile
     repro-2pc trace NAME [--txn ID] [--format transcript|spans|chrome|json]
     repro-2pc sweep --study NAME --workers N [--csv] [--obs]
+    repro-2pc torture [--configs ...] [--variants ...] [--seed S]
+                      [--workers N] [--max-sites N] [--artifacts DIR]
+                      [--replay FILE]
     repro-2pc list-profiles
 """
 
@@ -338,6 +341,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="profile kernel event handling during the "
                           "study (forces serial execution)")
 
+    from repro.torture.harness import CONFIG_NAMES, VARIANTS
+    torture = sub.add_parser(
+        "torture", help="deterministic crash-point torture matrix: "
+                        "replay the workload with a crash at every "
+                        "forced write, send and delivery, verifying "
+                        "recovery invariants after each restart")
+    torture.add_argument("--configs", nargs="+", choices=CONFIG_NAMES,
+                         default=None,
+                         help="presumption configs (default: all four)")
+    torture.add_argument("--variants", nargs="+", choices=VARIANTS,
+                         default=None,
+                         help="optimization variants (default: all)")
+    torture.add_argument("--seed", type=int, default=0)
+    torture.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: "
+                              "$REPRO_SWEEP_WORKERS or serial)")
+    torture.add_argument("--max-sites", type=int, default=None,
+                         help="cap crash sites per cell (smoke runs)")
+    torture.add_argument("--artifacts", default=None, metavar="DIR",
+                         help="write a replayable JSON artifact per "
+                              "failing site into DIR")
+    torture.add_argument("--replay", default=None, metavar="FILE",
+                         help="re-run the single site a failure "
+                              "artifact describes instead of sweeping")
+
     sub.add_parser("report", help="regenerate every table and figure "
                                   "as one markdown report on stdout")
 
@@ -369,6 +397,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.fuzz import fuzz as run_fuzz
         report = run_fuzz(runs=args.runs, seed=args.seed,
                           max_nodes=args.max_nodes)
+        print(report.describe())
+        return 0 if report.clean else 1
+    if args.command == "torture":
+        if args.replay is not None:
+            from repro.torture import load_artifact, replay_artifact
+            run = replay_artifact(load_artifact(args.replay))
+            print(run.describe())
+            for violation in run.violations:
+                print(f"  {violation}")
+            return 0 if run.ok else 1
+        from repro.torture import torture_sweep
+        report = torture_sweep(configs=args.configs, variants=args.variants,
+                               seed=args.seed, workers=args.workers,
+                               max_sites=args.max_sites,
+                               artifact_dir=args.artifacts)
         print(report.describe())
         return 0 if report.clean else 1
     if args.command == "report":

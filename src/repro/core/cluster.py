@@ -121,6 +121,21 @@ class Cluster:
         self.simulator.at(time, lambda: self.nodes[node_name].restart(),
                           name=f"restart:{node_name}")
 
+    def crash_at_site(self, site, when: str = "pre",
+                      restart_after: Optional[float] = None):
+        """Crash a node exactly at a deterministic protocol action.
+
+        ``site`` is a :class:`~repro.faults.injector.CrashSite`
+        (recorded by :class:`~repro.torture.sites.SiteRecorder` on a
+        clean run of the same seed); ``when`` picks the pre/post side
+        of the site's effect.  Returns the armed monitor so callers can
+        check whether (and when) it fired.  The site can only be hit
+        from inside a simulator event, so start the workload via
+        ``simulator.call_soon`` rather than synchronously.
+        """
+        from repro.torture.sites import arm_crash
+        return arm_crash(self, site, when=when, restart_after=restart_after)
+
     def partition(self, a: str, b: str) -> None:
         self.network.partition(a, b)
 

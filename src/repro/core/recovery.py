@@ -301,9 +301,21 @@ class RecoveryMixin:
                                       set()).add(record.get("key"))
         for rm_name, keys in keys_by_rm.items():
             try:
-                self.resource_manager(rm_name).relock(txn_id, keys)
+                rm = self.resource_manager(rm_name)
             except KeyError:
-                pass
+                # The RM named by the log no longer exists (removed or
+                # renamed across the restart).  The keys it recovered
+                # cannot be re-locked, so the in-doubt window no longer
+                # blocks on them — a real degradation of the blocking
+                # semantics, which must be surfaced, never swallowed.
+                self.metrics.record_recovery_anomaly(
+                    self.name, "relock-missing-rm", rm_name)
+                self.note(txn_id,
+                          f"cannot relock {sorted(keys)}: resource "
+                          f"manager {rm_name!r} is missing; in-doubt "
+                          f"keys left unlocked")
+                continue
+            rm.relock(txn_id, keys)
         self.note(txn_id, "restarts in doubt")
         if self.config.coordinator_driven_recovery:
             # PN: the coordinator will contact us.  We wait (blocking),

@@ -8,6 +8,7 @@ the recovery test matrix.
 
 from repro.faults.injector import (
     CrashPlan,
+    CrashSite,
     FaultPlan,
     FaultInjector,
     MessageLossPlan,
@@ -16,6 +17,7 @@ from repro.faults.injector import (
 
 __all__ = [
     "CrashPlan",
+    "CrashSite",
     "FaultInjector",
     "FaultPlan",
     "MessageLossPlan",

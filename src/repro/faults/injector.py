@@ -16,18 +16,90 @@ from repro.net.message import Message
 
 
 @dataclass(frozen=True)
-class CrashPlan:
-    """Crash ``node`` at ``at``; restart at ``restart_at`` (optional)."""
+class CrashSite:
+    """A deterministic crash point: one observable protocol action.
 
+    ``kind`` is ``"force"`` (a forced log write on the node), ``"send"``
+    (a message the node puts on the wire) or ``"deliver"`` (a message
+    the node receives).  ``seq`` is the zero-based ordinal of that kind
+    of action on that node within the run — the addressing is stable
+    because the simulator is deterministic for a given seed.  ``label``
+    is purely descriptive (record/message type) and takes no part in
+    matching.
+    """
+
+    kind: str
     node: str
-    at: float
-    restart_at: Optional[float] = None
+    seq: int
+    label: str = ""
+
+    KINDS = ("force", "send", "deliver")
 
     def __post_init__(self) -> None:
-        if self.restart_at is not None and self.restart_at <= self.at:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown crash-site kind {self.kind!r}; "
+                             f"expected one of {self.KINDS}")
+        if self.seq < 0:
+            raise ValueError(f"crash-site seq must be >= 0, got {self.seq}")
+
+    def describe(self) -> str:
+        text = f"{self.kind}#{self.seq}@{self.node}"
+        return f"{text} ({self.label})" if self.label else text
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "node": self.node, "seq": self.seq,
+                "label": self.label}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrashSite":
+        return cls(kind=data["kind"], node=data["node"],
+                   seq=int(data["seq"]), label=data.get("label", ""))
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Crash ``node`` — either at virtual time ``at`` (restarting at
+    ``restart_at``, optional), or exactly at a :class:`CrashSite`
+    (``when`` picks the pre/post side of the site's effect; restart
+    follows ``restart_after`` time units later, optional)."""
+
+    node: str
+    at: Optional[float] = None
+    restart_at: Optional[float] = None
+    site: Optional[CrashSite] = None
+    when: str = "pre"
+    restart_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.at is None) == (self.site is None):
             raise ValueError(
-                f"restart_at {self.restart_at} must follow crash at "
-                f"{self.at}")
+                "a CrashPlan needs exactly one of `at` (time-addressed) "
+                "or `site` (site-addressed)")
+        if self.at is not None:
+            if self.restart_at is not None and self.restart_at <= self.at:
+                raise ValueError(
+                    f"restart_at {self.restart_at} must follow crash at "
+                    f"{self.at}")
+            if self.restart_after is not None:
+                raise ValueError(
+                    "restart_after only applies to site-addressed plans; "
+                    "use restart_at")
+        else:
+            if self.site.node != self.node:
+                raise ValueError(
+                    f"site names node {self.site.node!r} but the plan "
+                    f"crashes {self.node!r}")
+            if self.when not in ("pre", "post"):
+                raise ValueError(
+                    f"when must be 'pre' or 'post', got {self.when!r}")
+            if self.restart_at is not None:
+                raise ValueError(
+                    "restart_at only applies to time-addressed plans; "
+                    "use restart_after")
+            if self.restart_after is not None and self.restart_after <= 0:
+                raise ValueError(
+                    f"restart_after must be positive, "
+                    f"got {self.restart_after}")
 
 
 @dataclass(frozen=True)
@@ -81,7 +153,13 @@ class FaultPlan:
 
     def crash(self, node: str, at: float,
               restart_at: Optional[float] = None) -> "FaultPlan":
-        self.crashes.append(CrashPlan(node, at, restart_at))
+        self.crashes.append(CrashPlan(node, at=at, restart_at=restart_at))
+        return self
+
+    def crash_at_site(self, site: CrashSite, when: str = "pre",
+                      restart_after: Optional[float] = None) -> "FaultPlan":
+        self.crashes.append(CrashPlan(site.node, site=site, when=when,
+                                      restart_after=restart_after))
         return self
 
     def partition(self, a: str, b: str, at: float,
@@ -104,9 +182,19 @@ class FaultInjector:
         self.cluster = cluster
         self._rng = cluster.simulator.stream("faults")
         self.injected_drops = 0
+        #: The drop filter that was installed before our first
+        #: ``apply()`` with message loss; ``clear_message_loss()``
+        #: restores it rather than wiping whatever the caller had.
+        self._filter_underneath = None
+        self._loss_installed = False
 
     def apply(self, plan: FaultPlan) -> None:
         for crash in plan.crashes:
+            if crash.site is not None:
+                self.cluster.crash_at_site(
+                    crash.site, when=crash.when,
+                    restart_after=crash.restart_after)
+                continue
             self.cluster.crash_at(crash.node, crash.at)
             if crash.restart_at is not None:
                 self.cluster.restart_at(crash.node, crash.restart_at)
@@ -118,8 +206,17 @@ class FaultInjector:
                                      partition.heal_at)
         if plan.message_loss is not None:
             loss = plan.message_loss
+            beneath = self.cluster.network.drop_filter
+            if not self._loss_installed:
+                self._filter_underneath = beneath
+                self._loss_installed = True
 
             def drop(message: Message) -> bool:
+                # Compose: whatever was installed first (a user filter,
+                # or a previously applied plan) keeps dropping its
+                # messages; this plan's loss applies on top.
+                if beneath is not None and beneath(message):
+                    return True
                 if not loss.matches(message):
                     return False
                 if self._rng.chance(loss.probability):
@@ -130,4 +227,9 @@ class FaultInjector:
             self.cluster.network.set_drop_filter(drop)
 
     def clear_message_loss(self) -> None:
-        self.cluster.network.set_drop_filter(None)
+        """Remove every loss predicate this injector installed,
+        restoring the filter that was present before the first one."""
+        if self._loss_installed:
+            self.cluster.network.set_drop_filter(self._filter_underneath)
+        self._filter_underneath = None
+        self._loss_installed = False

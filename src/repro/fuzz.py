@@ -10,7 +10,7 @@ attached, and reports any safety violation.  Exposed as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.core.cluster import Cluster
 from repro.core.config import (
@@ -60,7 +60,8 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def _random_spec(rng: RandomStream, max_nodes: int) -> TransactionSpec:
+def _random_spec(rng: RandomStream, max_nodes: int,
+                 txn_id: Optional[str] = None) -> TransactionSpec:
     n = rng.randint(1, max_nodes)
     names = [f"n{i}" for i in range(n)]
     participants = [ParticipantSpec(node="n0")]
@@ -77,7 +78,8 @@ def _random_spec(rng: RandomStream, max_nodes: int) -> TransactionSpec:
             participant.ops.append(read_op("shared"))
         if rng.chance(0.08):
             participant.veto = True
-    return TransactionSpec(participants=participants)
+    kwargs = {"txn_id": txn_id} if txn_id is not None else {}
+    return TransactionSpec(participants=participants, **kwargs)
 
 
 def fuzz(runs: int = 25, seed: int = 0, max_nodes: int = 6,
@@ -89,7 +91,10 @@ def fuzz(runs: int = 25, seed: int = 0, max_nodes: int = 6,
     report = FuzzReport()
     for index in range(runs):
         report.runs += 1
-        spec = _random_spec(rng, max_nodes)
+        # Explicit txn id: the global transaction counter's state would
+        # otherwise leak into the spec, making two fuzz() invocations
+        # (or in-process vs forked-worker runs) diverge.
+        spec = _random_spec(rng, max_nodes, txn_id=f"fuzz-{seed}-{index}")
         config = rng.choice(CONFIGS).with_options(
             ack_timeout=15.0, retry_interval=15.0, vote_timeout=25.0,
             inquiry_timeout=25.0, work_timeout=40.0)

@@ -74,7 +74,8 @@ class MetricsSnapshot:
     def __init__(self, flows: Dict, drops: Dict, log_writes: Dict,
                  log_ios: Dict, local_flows: Dict,
                  n_transactions: int = 0, n_heuristics: int = 0,
-                 n_lock_holds: int = 0, n_force_latencies: int = 0) -> None:
+                 n_lock_holds: int = 0, n_force_latencies: int = 0,
+                 recovery_anomalies: Optional[Dict] = None) -> None:
         self.flows = flows
         self.drops = drops
         self.log_writes = log_writes
@@ -84,6 +85,7 @@ class MetricsSnapshot:
         self.n_heuristics = n_heuristics
         self.n_lock_holds = n_lock_holds
         self.n_force_latencies = n_force_latencies
+        self.recovery_anomalies = recovery_anomalies or {}
 
 
 class MetricsCollector:
@@ -94,6 +96,7 @@ class MetricsCollector:
     LOG_DIMS = ("node", "record_type", "forced", "txn")
     IO_DIMS = ("node",)
     LOCAL_DIMS = ("node", "kind", "txn")
+    ANOMALY_DIMS = ("node", "kind", "detail")
 
     def __init__(self) -> None:
         self.reset()
@@ -113,6 +116,12 @@ class MetricsCollector:
         # row counts the local LRM as the "subordinate", so these are kept
         # in their own counter rather than mixed into network flows.
         self.local_flows = TaggedCounter(self.LOCAL_DIMS)
+        #: Degradations recovery survived but could not fully repair —
+        #: e.g. an in-doubt restart that could not re-acquire locks
+        #: because a resource manager went missing.  Silent before;
+        #: now recorded so operators (and the torture harness) can tell
+        #: surfaced degradation from silent lock loss.
+        self.recovery_anomalies = TaggedCounter(self.ANOMALY_DIMS)
         self.transactions: List[TransactionRecord] = []
         self.heuristics: List[HeuristicEvent] = []
         self.lock_holds: List[float] = []
@@ -140,6 +149,10 @@ class MetricsCollector:
 
     def record_local_flow(self, node: str, kind: str, txn: str) -> None:
         self.local_flows.add((node, kind, txn))
+
+    def record_recovery_anomaly(self, node: str, kind: str,
+                                detail: str = "") -> None:
+        self.recovery_anomalies.add((node, kind, detail))
 
     def record_transaction(self, record: TransactionRecord) -> None:
         self.transactions.append(record)
@@ -239,6 +252,18 @@ class MetricsCollector:
     def max_lock_hold(self) -> float:
         return max(self.lock_holds) if self.lock_holds else 0.0
 
+    def recovery_anomaly_count(self, node: Optional[str] = None,
+                               kind: Optional[str] = None,
+                               detail: Optional[str] = None) -> int:
+        match: Dict[str, Hashable] = {}
+        if node is not None:
+            match["node"] = node
+        if kind is not None:
+            match["kind"] = kind
+        if detail is not None:
+            match["detail"] = detail
+        return self.recovery_anomalies.total(**match)
+
     def damaged_heuristics(self) -> List[HeuristicEvent]:
         return [h for h in self.heuristics if h.damaged]
 
@@ -261,6 +286,7 @@ class MetricsCollector:
             n_heuristics=len(self.heuristics),
             n_lock_holds=len(self.lock_holds),
             n_force_latencies=len(self.force_latencies),
+            recovery_anomalies=self.recovery_anomalies.snapshot(),
         )
 
     def since(self, earlier: MetricsSnapshot) -> "MetricsCollector":
@@ -276,6 +302,8 @@ class MetricsCollector:
         window.log_writes = self.log_writes.diff(earlier.log_writes)
         window.log_ios = self.log_ios.diff(earlier.log_ios)
         window.local_flows = self.local_flows.diff(earlier.local_flows)
+        window.recovery_anomalies = \
+            self.recovery_anomalies.diff(earlier.recovery_anomalies)
         window.transactions = self.transactions[earlier.n_transactions:]
         window.heuristics = self.heuristics[earlier.n_heuristics:]
         window.lock_holds = self.lock_holds[earlier.n_lock_holds:]

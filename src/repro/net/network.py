@@ -46,9 +46,18 @@ class Network:
         self.sent = 0
         #: Trace hooks invoked with each message actually transmitted.
         self.on_send: list = []
+        #: Hooks invoked after a message's delivery has been scheduled
+        #: (the message is irrevocably on the wire).  The torture
+        #: harness crashes senders here — unlike ``on_send``, which
+        #: fires before scheduling, an interrupt raised from this hook
+        #: leaves the message in flight.
+        self.on_transmit: list = []
         #: Trace hooks invoked with each message as it reaches a live
         #: destination (repro.obs closes message-wait spans here).
         self.on_deliver: list = []
+        #: Hooks invoked after the destination handler processed a
+        #: message (the crash window "received and fully acted on").
+        self.on_handled: list = []
 
     # ------------------------------------------------------------------
     # Topology management
@@ -72,7 +81,15 @@ class Network:
         self._partitioned.add((b, a))
 
     def heal(self, a: str, b: str) -> None:
-        """Restore the link between two nodes."""
+        """Restore the link between two nodes.
+
+        Like :meth:`partition`, unknown names raise
+        :class:`NetworkError`: a typo'd node in a heal schedule would
+        otherwise silently heal nothing and the run would hang until
+        its timeout.
+        """
+        self._require(a)
+        self._require(b)
         self._partitioned.discard((a, b))
         self._partitioned.discard((b, a))
 
@@ -86,6 +103,15 @@ class Network:
                         drop: Optional[Callable[[Message], bool]]) -> None:
         """Install a predicate that drops matching messages (fault injection)."""
         self._drop_filter = drop
+
+    @property
+    def drop_filter(self) -> Optional[Callable[[Message], bool]]:
+        """The currently installed drop predicate (None when clear).
+
+        Exposed so fault injectors can *compose* with an existing
+        filter instead of clobbering it.
+        """
+        return self._drop_filter
 
     def _require(self, name: str) -> None:
         if name not in self._handlers:
@@ -129,6 +155,9 @@ class Network:
             self._last_delivery[link] = arrival
         self.simulator.at(arrival, lambda: self._deliver(message),
                           name=f"deliver:{message.describe()}")
+        if self.on_transmit:
+            for hook in self.on_transmit:
+                hook(message)
         return True
 
     def _deliver(self, message: Message) -> None:
@@ -146,3 +175,6 @@ class Network:
         for hook in self.on_deliver:
             hook(message)
         self._handlers[message.dst](message)
+        if self.on_handled:
+            for hook in self.on_handled:
+                hook(message)

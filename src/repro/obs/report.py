@@ -64,6 +64,7 @@ class RunReport:
             "commits": outcomes.get("commit", 0),
             "aborts": outcomes.get("abort", 0),
             "heuristic decisions": len(metrics.heuristics),
+            "recovery anomalies": metrics.recovery_anomaly_count(),
             "commit flows": metrics.commit_flows(),
             "log writes": metrics.total_log_writes(),
             "forced writes": metrics.forced_log_writes(),

@@ -8,11 +8,17 @@ assert exact message/log counts against the paper's analytic tables.
 """
 
 from repro.sim.events import Event, EventQueue
-from repro.sim.kernel import SimulationError, Simulator, Timer
+from repro.sim.kernel import (
+    EventInterrupt,
+    SimulationError,
+    Simulator,
+    Timer,
+)
 from repro.sim.randomness import RandomStream
 
 __all__ = [
     "Event",
+    "EventInterrupt",
     "EventQueue",
     "RandomStream",
     "SimulationError",

@@ -24,6 +24,28 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, runaway loops)."""
 
 
+class EventInterrupt(Exception):
+    """Abandon the rest of the currently firing event.
+
+    Raised from *inside* an event action (typically by a fault-injection
+    hook observing a log write or message send), it unwinds the action
+    at exactly that point: everything the action did before the raise
+    stands, everything after it never happens.  The kernel catches it,
+    runs ``on_interrupt`` (where a fault injector crashes the node), and
+    continues with the next event — which is precisely the semantics of
+    a node failing mid-operation.
+    """
+
+    def __init__(self,
+                 on_interrupt: Optional[Callable[[], None]] = None) -> None:
+        super().__init__("event interrupted")
+        self.on_interrupt = on_interrupt
+
+    def apply(self) -> None:
+        if self.on_interrupt is not None:
+            self.on_interrupt()
+
+
 class KernelProfilerProtocol:
     """What the kernel asks of a profiler (see repro.obs.profiler).
 
@@ -156,12 +178,17 @@ class Simulator:
             for hook in self._event_hooks:
                 hook(event)
         profiler = self._profiler
-        if profiler is None:
-            event.action()
-        else:
-            began = perf_counter()
-            event.action()
-            profiler.record(event, perf_counter() - began)
+        try:
+            if profiler is None:
+                event.action()
+            else:
+                began = perf_counter()
+                try:
+                    event.action()
+                finally:
+                    profiler.record(event, perf_counter() - began)
+        except EventInterrupt as interrupt:
+            interrupt.apply()
         return True
 
     def run(self, max_events: Optional[int] = None) -> None:
@@ -190,12 +217,17 @@ class Simulator:
             if hooks:
                 for hook in hooks:
                     hook(event)
-            if profiler is None:
-                event.action()
-            else:
-                began = perf_counter()
-                event.action()
-                profiler.record(event, perf_counter() - began)
+            try:
+                if profiler is None:
+                    event.action()
+                else:
+                    began = perf_counter()
+                    try:
+                        event.action()
+                    finally:
+                        profiler.record(event, perf_counter() - began)
+            except EventInterrupt as interrupt:
+                interrupt.apply()
             fired += 1
             if fired >= limit:
                 raise SimulationError(

@@ -1,0 +1,50 @@
+"""Deterministic crash-point torture harness.
+
+Explores every crash site a workload exposes — each forced log write
+and each message send/delivery, per node, pre- and post-effect —
+across the four presumption configs and their optimization variants,
+asserting the protocol's safety invariants after every restart
+recovery.  See docs/TORTURE.md and ``repro-2pc torture``.
+"""
+
+from repro.torture.artifact import (
+    build_artifact,
+    load_artifact,
+    save_artifact,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.torture.harness import (
+    CONFIG_NAMES,
+    VARIANTS,
+    CellResult,
+    SiteRun,
+    TortureReport,
+    record_sites,
+    replay_artifact,
+    run_cell,
+    run_site,
+    torture_sweep,
+)
+from repro.torture.sites import ArmedCrash, SiteRecorder, arm_crash
+
+__all__ = [
+    "ArmedCrash",
+    "CONFIG_NAMES",
+    "CellResult",
+    "SiteRecorder",
+    "SiteRun",
+    "TortureReport",
+    "VARIANTS",
+    "arm_crash",
+    "build_artifact",
+    "load_artifact",
+    "record_sites",
+    "replay_artifact",
+    "run_cell",
+    "run_site",
+    "save_artifact",
+    "spec_from_dict",
+    "spec_to_dict",
+    "torture_sweep",
+]

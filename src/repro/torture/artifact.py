@@ -1,0 +1,133 @@
+"""Replayable failure artifacts.
+
+When a torture site fails (protocol violation, lost recovery locks,
+no quiescence), the harness writes one minimized JSON artifact holding
+everything a replay needs: the cell coordinates (config, variant,
+seed), the exact crash site, and — for human inspection — the workload
+spec the cell runs.  ``repro-2pc torture --replay FILE`` feeds it back
+through :func:`repro.torture.harness.replay_artifact`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.lrm.operations import OpKind, Operation
+
+ARTIFACT_VERSION = 1
+ARTIFACT_KIND = "torture-site-failure"
+
+
+# ----------------------------------------------------------------------
+# Spec serialization
+# ----------------------------------------------------------------------
+def _op_to_dict(op: Operation) -> Dict:
+    data: Dict = {"kind": op.kind.value, "key": op.key}
+    if op.value is not None:
+        data["value"] = op.value
+    return data
+
+
+def _op_from_dict(data: Dict) -> Operation:
+    return Operation(kind=OpKind(data["kind"]), key=data["key"],
+                     value=data.get("value"))
+
+
+def spec_to_dict(spec: TransactionSpec) -> Dict:
+    return {
+        "txn_id": spec.txn_id,
+        "await_work_done": spec.await_work_done,
+        "long_locks": spec.long_locks,
+        "participants": [
+            {
+                "node": p.node,
+                "parent": p.parent,
+                "ops": [_op_to_dict(op) for op in p.ops],
+                "rm_ops": {name: [_op_to_dict(op) for op in ops]
+                           for name, ops in p.rm_ops.items()},
+                "last_agent": p.last_agent,
+                "unsolicited_vote": p.unsolicited_vote,
+                "ok_to_leave_out": p.ok_to_leave_out,
+                "long_locks": p.long_locks,
+                "veto": p.veto,
+            }
+            for p in spec.participants
+        ],
+    }
+
+
+def spec_from_dict(data: Dict) -> TransactionSpec:
+    participants = [
+        ParticipantSpec(
+            node=p["node"],
+            parent=p.get("parent"),
+            ops=[_op_from_dict(op) for op in p.get("ops", [])],
+            rm_ops={name: [_op_from_dict(op) for op in ops]
+                    for name, ops in p.get("rm_ops", {}).items()},
+            last_agent=p.get("last_agent", False),
+            unsolicited_vote=p.get("unsolicited_vote", False),
+            ok_to_leave_out=p.get("ok_to_leave_out", False),
+            long_locks=p.get("long_locks", False),
+            veto=p.get("veto", False),
+        )
+        for p in data["participants"]
+    ]
+    return TransactionSpec(participants=participants,
+                           txn_id=data["txn_id"],
+                           await_work_done=data.get("await_work_done", True),
+                           long_locks=data.get("long_locks", False))
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+def build_artifact(config_name: str, variant: str, seed: int,
+                   site_dict: Dict, when: str, verdict: str,
+                   violations: List[str],
+                   spec: Optional[TransactionSpec] = None) -> Dict:
+    data: Dict = {
+        "version": ARTIFACT_VERSION,
+        "kind": ARTIFACT_KIND,
+        "config": config_name,
+        "variant": variant,
+        "seed": seed,
+        "site": dict(site_dict),
+        "when": when,
+        "verdict": verdict,
+        "violations": list(violations),
+    }
+    if spec is not None:
+        data["spec"] = spec_to_dict(spec)
+    return data
+
+
+def artifact_filename(data: Dict) -> str:
+    site = data["site"]
+    return (f"{data['config']}-{data['variant']}-"
+            f"{site['kind']}{site['seq']}-{site['node']}-"
+            f"{data['when']}.json")
+
+
+def save_artifact(data: Dict, directory: str) -> str:
+    """Write one artifact; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, artifact_filename(data))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("kind") != ARTIFACT_KIND:
+        raise ValueError(f"{path} is not a torture artifact "
+                         f"(kind={data.get('kind')!r})")
+    if data.get("version") != ARTIFACT_VERSION:
+        raise ValueError(f"{path} has unsupported artifact version "
+                         f"{data.get('version')!r}")
+    return data

@@ -1,0 +1,291 @@
+"""Crash-site observation and site-addressed crash arming.
+
+A *crash site* is one observable protocol action: a forced log write,
+a message put on the wire, or a message delivered — addressed as
+``(kind, node, seq)`` where ``seq`` is the per-(kind, node) ordinal of
+that action in the run.  Because the simulator is deterministic for a
+seed, re-running the same workload reproduces the exact same site
+sequence, so a site recorded on a clean run (phase 1) addresses the
+identical instant in a replay (phase 2).
+
+Two classes implement the two phases:
+
+* :class:`SiteRecorder` — attach to a cluster before a clean run;
+  collects every site in occurrence order.
+* :class:`ArmedCrash` — attach before a replay of the same seed;
+  crashes the site's node exactly there, on the ``pre`` or ``post``
+  side of the action's effect:
+
+  ========  =====================  =====================================
+  kind      when="pre"             when="post"
+  ========  =====================  =====================================
+  force     record still volatile  record durable, continuation skipped
+            (lost with the crash)  (the on-durable callback never runs)
+  send      message never leaves   message in flight, sender down
+  deliver   handler never runs     handler ran fully, then crash
+  ========  =====================  =====================================
+
+The crash itself rides :class:`~repro.sim.kernel.EventInterrupt`: the
+hook raises it, the kernel abandons the rest of the current event, and
+the node's ``crash()`` runs with no half-event executing on a dead
+node.  Consequently a site can only fire from inside a simulator
+event — drive the workload via ``simulator.call_soon``, never by
+calling into the cluster synchronously while a site is armed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.injector import CrashSite
+from repro.log.records import LogRecord
+from repro.net.message import Message
+from repro.sim.kernel import EventInterrupt
+
+
+class SiteRecorder:
+    """Collects every crash site fired during a (clean) run.
+
+    Counting contract (shared with :class:`ArmedCrash`, which must
+    reproduce the exact same ordinals): ``force`` counts forced log
+    records across all of the node's logs in write order; ``send``
+    counts ``network.on_send`` firings with the node as source;
+    ``deliver`` counts ``network.on_deliver`` firings with the node as
+    destination.
+    """
+
+    def __init__(self) -> None:
+        self.sites: List[CrashSite] = []
+        self._counts: Dict[Tuple[str, str], int] = {}
+        self._cluster = None
+        #: (hook list, installed callable) pairs, so detach() removes
+        #: exactly what attach() added.
+        self._installed: List[tuple] = []
+
+    def attach(self, cluster) -> "SiteRecorder":
+        """Install observation hooks (same contract as Tracer: same
+        cluster re-attach is a no-op, different cluster is an error)."""
+        if self._cluster is cluster:
+            return self
+        if self._cluster is not None:
+            raise RuntimeError("SiteRecorder is already attached to a "
+                               "different cluster; detach() first")
+        self._cluster = cluster
+
+        def install(hook_list: list, hook) -> None:
+            hook_list.append(hook)
+            self._installed.append((hook_list, hook))
+
+        install(cluster.network.on_send, self._on_send)
+        install(cluster.network.on_deliver, self._on_deliver)
+        for node in cluster.nodes.values():
+            install(node.log.on_write,
+                    lambda record, name=node.name: self._on_write(
+                        name, record))
+            for rm in node.detached_rms.values():
+                if rm.log is not node.log:
+                    install(rm.log.on_write,
+                            lambda record, name=node.name: self._on_write(
+                                name, record))
+        return self
+
+    def detach(self) -> None:
+        """Remove every installed hook; keeps collected sites."""
+        for hook_list, hook in self._installed:
+            try:
+                hook_list.remove(hook)
+            except ValueError:
+                pass
+        self._installed = []
+        self._cluster = None
+
+    # ------------------------------------------------------------------
+    def _next_seq(self, kind: str, node: str) -> int:
+        key = (kind, node)
+        seq = self._counts.get(key, 0)
+        self._counts[key] = seq + 1
+        return seq
+
+    def _on_write(self, node: str, record: LogRecord) -> None:
+        if not record.forced:
+            return
+        seq = self._next_seq("force", node)
+        self.sites.append(CrashSite("force", node, seq,
+                                    label=record.record_type.value))
+
+    def _on_send(self, message: Message) -> None:
+        seq = self._next_seq("send", message.src)
+        self.sites.append(CrashSite(
+            "send", message.src, seq,
+            label=f"{message.msg_type.value}->{message.dst}"))
+
+    def _on_deliver(self, message: Message) -> None:
+        seq = self._next_seq("deliver", message.dst)
+        self.sites.append(CrashSite(
+            "deliver", message.dst, seq,
+            label=f"{message.msg_type.value}<-{message.src}"))
+
+
+class ArmedCrash:
+    """Crash ``site.node`` exactly at the armed site (one-shot).
+
+    ``on_crash`` runs right after the node's ``crash()`` (still inside
+    the interrupted event's cleanup); ``on_restart`` runs right after
+    ``restart()`` finishes restart recovery — the window in which
+    recovery-lock invariants are checkable before the simulator runs
+    on.
+    """
+
+    def __init__(self, cluster, site: CrashSite, when: str = "pre",
+                 restart_after: Optional[float] = None,
+                 on_crash: Optional[Callable[[], None]] = None,
+                 on_restart: Optional[Callable[[], None]] = None) -> None:
+        if when not in ("pre", "post"):
+            raise ValueError(f"when must be 'pre' or 'post', got {when!r}")
+        if site.node not in cluster.nodes:
+            raise ValueError(f"site names unknown node {site.node!r}")
+        self.cluster = cluster
+        self.site = site
+        self.when = when
+        self.restart_after = restart_after
+        self.on_crash = on_crash
+        self.on_restart = on_restart
+        self.fired = False
+        self.fired_at: Optional[float] = None
+        self._count = 0
+        self._pending_message: Optional[Message] = None
+        self._armed_flush: Optional[tuple] = None  # (log, lsn)
+        self._installed: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "ArmedCrash":
+        network = self.cluster.network
+        node = self.cluster.nodes[self.site.node]
+        if self.site.kind == "send":
+            # Front insertion: a "pre" interrupt must fire before any
+            # observer (checker, tracer) records a send that, per the
+            # crash semantics, never happened.
+            self._install(network.on_send, self._on_send, front=True)
+            if self.when == "post":
+                self._install(network.on_transmit, self._on_transmit)
+        elif self.site.kind == "deliver":
+            self._install(network.on_deliver, self._on_deliver, front=True)
+            if self.when == "post":
+                self._install(network.on_handled, self._on_handled)
+        else:  # force
+            logs = [node.log] + [rm.log for rm in node.detached_rms.values()
+                                 if rm.log is not node.log]
+            for log in logs:
+                self._install(log.on_write,
+                              lambda record, log=log: self._on_write(
+                                  log, record),
+                              front=True)
+                self._install(log.on_flush,
+                              lambda records, log=log: self._on_flush(
+                                  log, records))
+        return self
+
+    def detach(self) -> None:
+        for hook_list, hook in self._installed:
+            try:
+                hook_list.remove(hook)
+            except ValueError:
+                pass
+        self._installed = []
+
+    def _install(self, hook_list: list, hook, front: bool = False) -> None:
+        if front:
+            hook_list.insert(0, hook)
+        else:
+            hook_list.append(hook)
+        self._installed.append((hook_list, hook))
+
+    # ------------------------------------------------------------------
+    # Hook handlers (each counts exactly like SiteRecorder)
+    # ------------------------------------------------------------------
+    def _on_send(self, message: Message) -> None:
+        if self.fired or message.src != self.site.node:
+            return
+        seq = self._count
+        self._count += 1
+        if seq != self.site.seq:
+            return
+        if self.when == "pre":
+            self._fire()
+        else:
+            self._pending_message = message
+
+    def _on_transmit(self, message: Message) -> None:
+        if self.fired or message is not self._pending_message:
+            return
+        self._fire()
+
+    def _on_deliver(self, message: Message) -> None:
+        if self.fired or message.dst != self.site.node:
+            return
+        seq = self._count
+        self._count += 1
+        if seq != self.site.seq:
+            return
+        if self.when == "pre":
+            self._fire()
+        else:
+            self._pending_message = message
+
+    def _on_handled(self, message: Message) -> None:
+        if self.fired or message is not self._pending_message:
+            return
+        self._fire()
+
+    def _on_write(self, log, record: LogRecord) -> None:
+        if self.fired or not record.forced:
+            return
+        seq = self._count
+        self._count += 1
+        if seq != self.site.seq:
+            return
+        if self.when == "pre":
+            self._fire()
+        else:
+            # Crash when the I/O that hardens this record completes:
+            # durable, but the force's continuation never runs.
+            self._armed_flush = (log, record.lsn)
+
+    def _on_flush(self, log, records: List[LogRecord]) -> None:
+        if self.fired or self._armed_flush is None:
+            return
+        armed_log, lsn = self._armed_flush
+        if log is not armed_log:
+            return
+        if any(record.lsn == lsn for record in records):
+            self._fire()
+
+    # ------------------------------------------------------------------
+    def _fire(self) -> None:
+        self.fired = True
+        self.fired_at = self.cluster.simulator.now
+        raise EventInterrupt(on_interrupt=self._crash)
+
+    def _crash(self) -> None:
+        self.detach()
+        self.cluster.nodes[self.site.node].crash()
+        if self.on_crash is not None:
+            self.on_crash()
+        if self.restart_after is not None:
+            simulator = self.cluster.simulator
+            simulator.at(simulator.now + self.restart_after, self._restart,
+                         name=f"torture-restart:{self.site.node}")
+
+    def _restart(self) -> None:
+        self.cluster.nodes[self.site.node].restart()
+        if self.on_restart is not None:
+            self.on_restart()
+
+
+def arm_crash(cluster, site: CrashSite, when: str = "pre",
+              restart_after: Optional[float] = None,
+              on_crash: Optional[Callable[[], None]] = None,
+              on_restart: Optional[Callable[[], None]] = None) -> ArmedCrash:
+    """Arm a one-shot crash at ``site`` on ``cluster`` and return it."""
+    return ArmedCrash(cluster, site, when=when, restart_after=restart_after,
+                      on_crash=on_crash, on_restart=on_restart).attach()

@@ -17,6 +17,13 @@ R5  An acknowledgment is sent only after the sender logged an outcome
 R6  At quiescence, the durable outcomes of all participants agree
     (atomicity); heuristic records count as the documented exception
     and are reported as damage, not violation.
+RL  After a restart, every in-doubt transaction rebuilt from the log
+    holds exclusive locks on the keys its logged updates touched — or
+    the node recorded a ``relock-missing-rm`` recovery anomaly for the
+    resource manager those keys belong to.  Silent lock loss during
+    the in-doubt window is the violation (checked on demand via
+    :meth:`ProtocolChecker.check_recovery_locks`, typically right
+    after a restart).
 """
 
 from __future__ import annotations
@@ -50,6 +57,9 @@ class ProtocolChecker:
     def __init__(self) -> None:
         self.violations: List[Violation] = []
         self._cluster: Optional[Cluster] = None
+        #: (hook list, installed callable) pairs, so detach() removes
+        #: exactly what attach() added.
+        self._installed: List[tuple] = []
         # (node, txn) -> facts observed so far
         self._forced_prepared: Set[Tuple[str, str]] = set()
         self._logged_committed: Set[Tuple[str, str]] = set()
@@ -59,14 +69,46 @@ class ProtocolChecker:
 
     # ------------------------------------------------------------------
     def attach(self, cluster: Cluster) -> "ProtocolChecker":
+        """Install observation hooks on the cluster.
+
+        Same contract as :class:`~repro.trace.recorder.Tracer`:
+        re-attaching to the same cluster is a no-op (hooks are never
+        installed twice, so no double-counted observations), attaching
+        to a different cluster while still attached is an error —
+        call :meth:`detach` first.
+        """
+        if self._cluster is cluster:
+            return self
+        if self._cluster is not None:
+            raise RuntimeError("ProtocolChecker is already attached to a "
+                               "different cluster; detach() first")
         self._cluster = cluster
-        cluster.network.on_send.append(self._on_send)
+
+        def install(hook_list: list, hook) -> None:
+            hook_list.append(hook)
+            self._installed.append((hook_list, hook))
+
+        install(cluster.network.on_send, self._on_send)
         for node in cluster.nodes.values():
-            node.log.on_write.append(self._on_log)
+            install(node.log.on_write, self._on_log)
             for rm in node.detached_rms.values():
                 if rm.log is not node.log:
-                    rm.log.on_write.append(self._on_log)
+                    install(rm.log.on_write, self._on_log)
         return self
+
+    def detach(self) -> None:
+        """Remove every installed hook; keeps violations (idempotent)."""
+        for hook_list, hook in self._installed:
+            try:
+                hook_list.remove(hook)
+            except ValueError:
+                pass  # hook list was externally cleared; nothing to do
+        self._installed = []
+        self._cluster = None
+
+    @property
+    def attached(self) -> bool:
+        return self._cluster is not None
 
     # ------------------------------------------------------------------
     # Stream handlers
@@ -152,6 +194,52 @@ class ProtocolChecker:
         if len(set(outcomes.values())) > 1:
             self._flag("R6", txn_id,
                        f"participants disagree durably: {outcomes}")
+
+    def check_recovery_locks(self, node_name: str) -> None:
+        """RL: rebuilt in-doubt transactions hold their update locks.
+
+        Call right after a node's restart recovery (before the
+        simulator runs on and the inquiry resolves the in-doubt
+        state).  Keys the recovery could not re-lock are tolerated
+        only when the node surfaced a ``relock-missing-rm`` anomaly
+        for that resource manager — silent lock loss is the bug this
+        rule exists to catch.
+        """
+        if self._cluster is None:
+            raise RuntimeError("checker is not attached")
+        from repro.core.states import TxnState
+        from repro.log.records import LogRecordType
+        from repro.lrm.locks import LockMode
+        node = self._cluster.nodes[node_name]
+        for txn_id, context in node.contexts.items():
+            if not context.rebuilt_from_log or \
+                    context.state is not TxnState.PREPARED:
+                continue
+            for record in context.recovered_records:
+                if record.record_type is not LogRecordType.LRM_UPDATE or \
+                        record.txn_id != txn_id:
+                    continue
+                rm_name = record.get("rm", "default")
+                key = record.get("key")
+                try:
+                    rm = node.resource_manager(rm_name)
+                except KeyError:
+                    if not self._missing_rm_surfaced(node_name, rm_name):
+                        self._flag("RL", txn_id,
+                                   f"{node_name} lost resource manager "
+                                   f"{rm_name!r} across restart without "
+                                   f"recording a recovery anomaly")
+                    continue
+                if not rm.locks.holds(txn_id, key, LockMode.EXCLUSIVE):
+                    self._flag("RL", txn_id,
+                               f"{node_name} restarted in doubt but does "
+                               f"not hold the exclusive lock on "
+                               f"{rm_name}/{key}")
+
+    def _missing_rm_surfaced(self, node_name: str, rm_name: str) -> bool:
+        metrics = self._cluster.metrics
+        return metrics.recovery_anomaly_count(
+            node=node_name, kind="relock-missing-rm", detail=rm_name) > 0
 
     def assert_clean(self) -> None:
         if self.violations:
