@@ -8,7 +8,10 @@ Three configurations of the same protocol workload (a stream of
 * **tracing on** — a :class:`repro.obs.SpanTracer` attached, building
   the full span tree for every transaction;
 * **profiler on** — a :class:`repro.obs.KernelProfiler` timing every
-  event handler with ``perf_counter`` pairs.
+  event handler with ``perf_counter`` pairs;
+* **ledger on** — a :class:`repro.obs.CostLedger` plus a
+  :class:`repro.obs.ConformanceAuditor` attributing every cost event
+  and diffing each transaction against the analytic formula.
 
 The committed trajectory lives in ``BENCH_obs.json`` (written by
 ``python benchmarks/run_baseline.py --update``); the check gate fails
@@ -28,7 +31,9 @@ from repro.core.cluster import Cluster
 from repro.core.config import PRESUMED_ABORT
 from repro.core.spec import flat_tree
 from repro.lrm.operations import write_op
-from repro.obs import KernelProfiler, SpanTracer
+from repro.analysis.formulas import basic_2pc_costs
+from repro.obs import (ConformanceAuditor, CostLedger, KernelProfiler,
+                       SpanTracer)
 
 from benchmarks.bench_kernel import best_of, hot_run_until
 
@@ -39,13 +44,18 @@ SMOKE_TXNS = 120
 
 
 def run_workload(n_txns: int, tracing: bool = False,
-                 profiling: bool = False) -> float:
+                 profiling: bool = False, auditing: bool = False) -> float:
     """Run ``n_txns`` 3-node PA commits; return simulator events/second."""
     cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s1", "s2"])
     tracer = SpanTracer().attach(cluster) if tracing else None
     profiler = KernelProfiler() if profiling else None
     if profiler is not None:
         cluster.simulator.set_profiler(profiler)
+    auditor = None
+    if auditing:
+        ledger = CostLedger().attach(cluster)
+        auditor = ConformanceAuditor(predictor=basic_2pc_costs(3))
+        auditor.attach(cluster, ledger)
     start = time.perf_counter()
     for i in range(n_txns):
         spec = flat_tree("c", ["s1", "s2"], txn_id=f"t{i}")
@@ -56,15 +66,20 @@ def run_workload(n_txns: int, tracing: bool = False,
     if tracer is not None:
         tracer.finish()
         tracer.detach()
+    if auditor is not None:
+        auditor.finish()
+        assert not auditor.anomalies(), "benchmark workload must conform"
     return cluster.simulator.events_processed / elapsed
 
 
 def measure(n_txns: int = SMOKE_TXNS, repeats: int = 3) -> dict:
-    """The three configurations plus the kernel-level fast-path number."""
+    """The four configurations plus the kernel-level fast-path number."""
     off = best_of(lambda: run_workload(n_txns), repeats)
     tracing = best_of(lambda: run_workload(n_txns, tracing=True), repeats)
     profiling = best_of(lambda: run_workload(n_txns, profiling=True),
                         repeats)
+    auditing = best_of(lambda: run_workload(n_txns, auditing=True),
+                       repeats)
     kernel = best_of(lambda: hot_run_until(100_000), repeats)
     return {
         "tracing_off": {"eps": round(off)},
@@ -77,6 +92,11 @@ def measure(n_txns: int = SMOKE_TXNS, repeats: int = 3) -> dict:
             "eps": round(profiling),
             "ratio": round(profiling / off, 3),
             "overhead": round(off / profiling - 1.0, 3),
+        },
+        "ledger_on": {
+            "eps": round(auditing),
+            "ratio": round(auditing / off, 3),
+            "overhead": round(off / auditing - 1.0, 3),
         },
         # Comparable to BENCH_kernel.json's hot_run_until eps: the
         # hooks-disabled kernel path with the profiler branch in place.
@@ -104,4 +124,14 @@ def test_tracing_overhead_bounded():
                       repeats=2)
     assert tracing >= off * 0.5, (
         f"span tracing costs too much: {off:,.0f} -> {tracing:,.0f} "
+        f"events/s")
+
+
+def test_ledger_overhead_bounded():
+    """Cost attribution + auditing must not halve protocol throughput."""
+    off = best_of(lambda: run_workload(SMOKE_TXNS), repeats=2)
+    auditing = best_of(lambda: run_workload(SMOKE_TXNS, auditing=True),
+                       repeats=2)
+    assert auditing >= off * 0.5, (
+        f"cost ledger costs too much: {off:,.0f} -> {auditing:,.0f} "
         f"events/s")

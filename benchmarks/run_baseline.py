@@ -158,7 +158,7 @@ def check_obs_baseline(tolerance: float) -> int:
     current = measure_obs(n_txns=SMOKE_TXNS, repeats=3)
 
     failures = 0
-    for name in ("tracing_on", "profiler_on"):
+    for name in ("tracing_on", "profiler_on", "ledger_on"):
         ratio = current[name]["ratio"]
         recorded = committed["metrics"].get(name, {}).get("ratio")
         line = (f"{name}: {current[name]['eps']:,} events/s, "
@@ -167,13 +167,46 @@ def check_obs_baseline(tolerance: float) -> int:
         if recorded:
             floor = recorded * (1.0 - tolerance)
             line += f" [committed ratio {recorded}, floor {floor:.3f}]"
-            if name == "tracing_on" and ratio < floor:
+            if name in ("tracing_on", "ledger_on") and ratio < floor:
                 line += "  <-- REGRESSION"
                 failures += 1
         print(line)
     print(f"tracing_off: {current['tracing_off']['eps']:,} events/s; "
           f"hot_run_until: {current['hot_run_until']['eps']:,} events/s "
           f"(compare BENCH_kernel.json)")
+    return failures
+
+
+def run_audit_gate() -> int:
+    """Conformance audit gate: zero anomalies across the protocol x
+    variant matrix, and a seeded crash-recovery run whose divergence
+    classifies as expected-under-faults.  Like the torture matrix this
+    is a correctness gate with no tolerance."""
+    from repro.obs import run_audit_matrix, run_faulty_audit_cell
+    print("== conformance audit matrix ==")
+    report = run_audit_matrix()
+    print(f"{report['txns']} transactions audited: "
+          f"{report['conforms']} conform, "
+          f"{report['expected_under_faults']} expected-under-faults, "
+          f"{report['anomalies']} anomalies")
+    failures = 0
+    if report["anomalies"]:
+        for cell in report["cells"]:
+            for finding in cell["findings"]:
+                if finding["classification"] == "anomaly":
+                    print(f"  ANOMALY {cell['protocol']}/{cell['variant']} "
+                          f"{finding['txn_id']}: observed "
+                          f"{finding['observed']}, expected "
+                          f"{finding['expected']}", file=sys.stderr)
+        failures += 1
+    fault_cell = run_faulty_audit_cell()
+    print(f"seeded crash-recovery: outcome {fault_cell['outcome']}, "
+          f"{fault_cell['expected_under_faults']} expected-under-faults, "
+          f"{fault_cell['anomalies']} anomalies")
+    if fault_cell["anomalies"] or not fault_cell["expected_under_faults"]:
+        print("fault run did not classify as expected-under-faults",
+              file=sys.stderr)
+        failures += 1
     return failures
 
 
@@ -197,6 +230,10 @@ def main(argv=None) -> int:
                         help="also run the full crash-point torture "
                              "matrix (repro-2pc torture) as a "
                              "zero-tolerance correctness gate")
+    parser.add_argument("--audit", action="store_true",
+                        help="also run the conformance audit matrix "
+                             "(repro-2pc audit --faults) as a "
+                             "zero-tolerance correctness gate")
     parser.add_argument("--skip-tests", action="store_true",
                         help="skip the tier-1 suite")
     parser.add_argument("--tolerance", type=float,
@@ -213,6 +250,11 @@ def main(argv=None) -> int:
         status = run_torture_matrix()
         if status:
             print("torture matrix found failing sites", file=sys.stderr)
+            return status
+    if args.audit:
+        status = run_audit_gate()
+        if status:
+            print("conformance audit gate failed", file=sys.stderr)
             return status
     if args.update:
         return update_baseline()

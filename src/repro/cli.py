@@ -5,9 +5,12 @@ Usage::
     repro-2pc table 1|2|3|4 [--n N] [--m M] [--r R]
     repro-2pc figure 1..8
     repro-2pc compare            # every table cell, paper vs measured
-    repro-2pc profile NAME [--obs]   # run a named workload profile
-    repro-2pc trace NAME [--txn ID] [--format transcript|spans|chrome|json]
-    repro-2pc sweep --study NAME --workers N [--csv] [--obs]
+    repro-2pc profile NAME [--obs] [--audit]
+    repro-2pc trace NAME [--txn ID]
+                    [--format transcript|spans|chrome|json|dashboard]
+    repro-2pc sweep --study NAME --workers N [--csv] [--obs] [--audit]
+    repro-2pc audit [--workers N] [--txns K] [--zero-tolerance]
+                    [--faults] [--json]
     repro-2pc torture [--configs ...] [--variants ...] [--seed S]
                       [--workers N] [--max-sites N] [--artifacts DIR]
                       [--replay FILE]
@@ -144,7 +147,7 @@ def _compare_all() -> int:
     return 1 if failures else 0
 
 
-def _run_profile(name: str, obs: bool = False) -> int:
+def _run_profile(name: str, obs: bool = False, audit: bool = False) -> int:
     if name not in PROFILES:
         print(f"unknown profile {name!r}; try: "
               f"{', '.join(sorted(PROFILES))}", file=sys.stderr)
@@ -152,27 +155,53 @@ def _run_profile(name: str, obs: bool = False) -> int:
     profile = PROFILES[name]()
     print(f"{profile.name}: {profile.description}")
     cluster = profile.build_cluster()
-    tracer = None
+    tracer = ledger = auditor = None
     if obs:
         from repro.obs import SpanTracer
         tracer = SpanTracer().attach(cluster)
+    if audit:
+        from repro.obs import ConformanceAuditor, CostLedger
+        ledger = CostLedger().attach(cluster)
+        auditor = ConformanceAuditor(predictor=profile.expected_costs)
+        auditor.attach(cluster, ledger)
     specs = profile.specs()
     for spec in specs:
         handle = cluster.run_transaction(spec)
         print(f"  {spec.txn_id}: {handle.outcome} "
               f"({cluster.metrics.cost_summary(spec.txn_id)})")
     cluster.finalize_implied_acks()
+    cluster.flush_deferred_acks()
     print(f"total commit flows: {cluster.metrics.commit_flows()}, "
           f"forced writes: {cluster.metrics.forced_log_writes()}, "
           f"mean lock hold: {cluster.metrics.mean_lock_hold():.2f}")
-    if tracer is not None:
+    anomalies = 0
+    if auditor is not None:
+        auditor.finish()
+        counts = auditor.counts()
+        anomalies = counts["anomaly"]
+        print(f"audit: {counts['conforms']} conform, "
+              f"{counts['expected-under-faults']} expected-under-faults, "
+              f"{anomalies} anomalies"
+              + ("" if profile.expected_costs is not None
+                 else " (no prediction for this profile)"))
+        for finding in auditor.anomalies():
+            print(f"  ANOMALY {finding.txn_id}: observed "
+                  f"{finding.observed}, expected {finding.expected}")
+    if tracer is not None or auditor is not None:
         from repro.obs import RunReport
-        tracer.finish()
+        if tracer is not None:
+            tracer.finish()
         print()
-        print(RunReport.from_run(cluster, tracer).render(
+        print(RunReport.from_run(cluster, tracer, ledger=ledger,
+                                 auditor=auditor).render(
             title=f"Run report: {name}"))
-        tracer.detach()
-    return 0
+        if tracer is not None:
+            tracer.detach()
+    if auditor is not None:
+        auditor.detach()
+    if ledger is not None:
+        ledger.detach()
+    return 1 if anomalies else 0
 
 
 def _default_trace_cluster():
@@ -213,6 +242,10 @@ def _run_trace(name: str, txn: Optional[str], fmt: str) -> int:
     span_tracer = SpanTracer().attach(cluster)
     transcript_tracer = Tracer().attach(cluster) \
         if fmt == "transcript" else None
+    timeseries = None
+    if fmt == "dashboard":
+        from repro.obs import SimTimeSeries
+        timeseries = SimTimeSeries(interval=0.5).attach(cluster)
     for spec in specs:
         cluster.run_transaction(spec)
     cluster.finalize_implied_acks()
@@ -220,6 +253,10 @@ def _run_trace(name: str, txn: Optional[str], fmt: str) -> int:
 
     if fmt == "transcript":
         print(transcript_tracer.transcript(txn))
+        return 0
+    if fmt == "dashboard":
+        print(timeseries.render_dashboard())
+        timeseries.detach()
         return 0
 
     spans = span_tracer.spans_for(txn) if txn else span_tracer.spans
@@ -236,13 +273,66 @@ def _run_trace(name: str, txn: Optional[str], fmt: str) -> int:
     return 0
 
 
+def _run_audit(workers: Optional[int], txns: int, zero_tolerance: bool,
+               faults: bool, as_json: bool) -> int:
+    """The conformance audit matrix (and optional seeded-fault run)."""
+    import json as _json
+
+    from repro.obs import run_audit_matrix, run_faulty_audit_cell
+
+    report = run_audit_matrix(workers=workers, txns=txns,
+                              zero_tolerance=zero_tolerance)
+    fault_cell = run_faulty_audit_cell() if faults else None
+    if as_json:
+        payload = dict(report)
+        if fault_cell is not None:
+            payload["fault_cell"] = fault_cell
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        lines = []
+        for cell in report["cells"]:
+            expected = cell["expected"]
+            lines.append([
+                cell["protocol"], cell["variant"], str(cell["txns"]),
+                (f"{expected['flows']}f/{expected['log_writes']}w/"
+                 f"{expected['forced_writes']}F"),
+                str(cell["conforms"]), str(cell["expected_under_faults"]),
+                str(cell["anomalies"])])
+        print(render_table(
+            ["protocol", "variant", "txns", "expected", "conforms",
+             "under-faults", "anomalies"],
+            lines, title="Conformance audit: observed per-transaction "
+                         "costs vs the formulas"))
+        print(f"\n{report['txns']} transactions audited: "
+              f"{report['conforms']} conform, "
+              f"{report['expected_under_faults']} expected-under-faults, "
+              f"{report['anomalies']} anomalies")
+        if fault_cell is not None:
+            print(f"seeded crash-recovery run: outcome "
+                  f"{fault_cell['outcome']}, "
+                  f"{fault_cell['expected_under_faults']} "
+                  f"expected-under-faults, "
+                  f"{fault_cell['anomalies']} anomalies")
+    failed = report["anomalies"] > 0
+    if fault_cell is not None:
+        # The fault run must diverge *and* be excused by fault evidence.
+        failed = failed or fault_cell["anomalies"] > 0 \
+            or fault_cell["expected_under_faults"] == 0
+    return 1 if failed else 0
+
+
 def _run_sweep(study: str, workers: Optional[int], csv: bool,
-               obs: bool = False) -> int:
+               obs: bool = False, audit: bool = False) -> int:
     profiler = None
     if obs:
         from repro.obs import KernelProfiler
         profiler = KernelProfiler()
-    rows = run_study(study, workers=workers, profiler=profiler)
+    try:
+        rows = run_study(study, workers=workers, profiler=profiler,
+                         audit=audit)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     if not rows:
         print("study produced no rows", file=sys.stderr)
         return 1
@@ -304,6 +394,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--obs", action="store_true",
                          help="attach the span tracer and print a "
                               "percentile run report")
+    profile.add_argument("--audit", action="store_true",
+                         help="attach the cost ledger and conformance "
+                              "auditor; non-zero exit on anomalies")
 
     trace = sub.add_parser(
         "trace", help="run a workload under the span tracer and "
@@ -314,11 +407,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--txn", default=None,
                        help="only export spans of this transaction id")
     trace.add_argument("--format", dest="fmt", default="spans",
-                       choices=["transcript", "spans", "chrome", "json"],
+                       choices=["transcript", "spans", "chrome", "json",
+                                "dashboard"],
                        help="transcript: flow/log event log; spans: "
                             "indented span tree; chrome: Chrome "
                             "trace_event JSON (chrome://tracing, "
-                            "Perfetto); json: spans as JSONL")
+                            "Perfetto); json: spans as JSONL; "
+                            "dashboard: sim-time gauge sparklines")
 
     fuzz = sub.add_parser(
         "fuzz", help="randomized fault-injected runs with online "
@@ -340,6 +435,29 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--obs", action="store_true",
                      help="profile kernel event handling during the "
                           "study (forces serial execution)")
+    swp.add_argument("--audit", action="store_true",
+                     help="attach a cost ledger and conformance "
+                          "auditor inside each cell (auditable "
+                          "studies only)")
+
+    audit = sub.add_parser(
+        "audit", help="conformance audit: run the protocol x variant "
+                      "matrix and diff every transaction's observed "
+                      "cost triple against the analytic formulas")
+    audit.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: "
+                            "$REPRO_SWEEP_WORKERS or serial)")
+    audit.add_argument("--txns", type=int, default=3,
+                       help="transactions per matrix cell (default 3)")
+    audit.add_argument("--zero-tolerance", action="store_true",
+                       help="classify every divergence as an anomaly, "
+                            "even with fault evidence")
+    audit.add_argument("--faults", action="store_true",
+                       help="also run a seeded crash-recovery cell and "
+                            "require its divergence to classify as "
+                            "expected-under-faults")
+    audit.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
 
     from repro.torture.harness import CONFIG_NAMES, VARIANTS
     torture = sub.add_parser(
@@ -388,11 +506,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "compare":
         return _compare_all()
     if args.command == "profile":
-        return _run_profile(args.name, obs=args.obs)
+        return _run_profile(args.name, obs=args.obs, audit=args.audit)
     if args.command == "trace":
         return _run_trace(args.name, args.txn, args.fmt)
     if args.command == "sweep":
-        return _run_sweep(args.study, args.workers, args.csv, obs=args.obs)
+        return _run_sweep(args.study, args.workers, args.csv, obs=args.obs,
+                          audit=args.audit)
+    if args.command == "audit":
+        return _run_audit(args.workers, args.txns, args.zero_tolerance,
+                          args.faults, args.json)
     if args.command == "fuzz":
         from repro.fuzz import fuzz as run_fuzz
         report = run_fuzz(runs=args.runs, seed=args.seed,

@@ -185,6 +185,26 @@ class Cluster:
                         pending = True
             self.simulator.run()
 
+    def flush_deferred_acks(self) -> None:
+        """Continue every conversation holding a deferred (long-locks)
+        message, so the piggybacked acks finally travel.
+
+        Models the same ongoing-conversation assumption as
+        :meth:`finalize_implied_acks`: the extra traffic is data flows
+        only, so commit-cost accounting is unaffected.  The audit
+        workloads call this so long-locks transactions reach their
+        FORGOTTEN state and can be conformance-checked.
+        """
+        pending = True
+        while pending:
+            pending = False
+            for node in list(self.nodes.values()):
+                for dst, queue in list(node._deferred_outbox.items()):
+                    if queue and dst in self.nodes:
+                        self.send_application_data(node.name, dst)
+                        pending = True
+            self.simulator.run()
+
     # ------------------------------------------------------------------
     # Inspection (tests and benchmarks)
     # ------------------------------------------------------------------

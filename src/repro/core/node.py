@@ -87,6 +87,9 @@ class TMNode(VotingMixin, DecisionMixin, HeuristicMixin, RecoveryMixin):
         #: Records processed by the last restart recovery (checkpoints
         #: bound this; see repro.core.checkpoint).
         self.last_recovery_scan = 0
+        #: Crashes this node has suffered (the conformance auditor uses
+        #: this to classify cost divergences as expected-under-faults).
+        self.crash_count = 0
         network.register(name, self.receive, alive=lambda: self.alive)
 
     def take_checkpoint(self) -> None:
@@ -413,6 +416,7 @@ class TMNode(VotingMixin, DecisionMixin, HeuristicMixin, RecoveryMixin):
     def crash(self) -> None:
         """Lose all volatile state: contexts, lock tables, log buffer."""
         self.alive = False
+        self.crash_count += 1
         for context in self.contexts.values():
             context.cancel_timers()
         self.contexts.clear()

@@ -75,6 +75,10 @@ class LogManager:
         manager sharing its TM's physical log still accounts its
         records as its own participant (Table 2 splits the roles).
         """
+        if on_durable is not None and not force:
+            # Validate before any side effect: a bad call must not leave
+            # a record appended, an LSN consumed, or hooks already fired.
+            raise ValueError("on_durable callback requires force=True")
         record = LogRecord(
             lsn=self._next_lsn,
             txn_id=txn_id,
@@ -92,8 +96,6 @@ class LogManager:
             hook(record)
         if force:
             self._request_force(record.lsn, on_durable)
-        elif on_durable is not None:
-            raise ValueError("on_durable callback requires force=True")
         return record
 
     def force(self, on_durable: Optional[Callable[[], None]] = None) -> None:
@@ -195,6 +197,12 @@ class LogManager:
     @property
     def buffered_count(self) -> int:
         return len(self._buffer)
+
+    @property
+    def pending_force_count(self) -> int:
+        """Force requests queued but not yet satisfied by an I/O (the
+        group-commit backlog the sim-time dashboard graphs)."""
+        return len(self._pending_forces)
 
     @property
     def durable_lsn(self) -> int:

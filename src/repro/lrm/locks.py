@@ -71,6 +71,16 @@ class LockManager:
         self._held_by_txn: Dict[str, Set[str]] = defaultdict(set)
         self._first_acquire_at: Dict[str, float] = {}
         self.deadlocks_detected = 0
+        #: Trace hooks invoked with (txn_id, key, mode) when a lock is
+        #: first granted to a transaction (re-entrant acquisitions and
+        #: in-place upgrades fire nothing — the hold interval is
+        #: already running).  List-append installs: an empty list costs
+        #: one falsy check per grant (repro.obs attributes lock-hold
+        #: intervals here).
+        self.on_grant: List[Callable[[str, str, LockMode], None]] = []
+        #: Trace hooks invoked with (txn_id, key) as strict-2PL release
+        #: drops each held lock.
+        self.on_release: List[Callable[[str, str], None]] = []
 
     # ------------------------------------------------------------------
     # Acquisition
@@ -120,6 +130,8 @@ class LockManager:
         cycle = self._would_deadlock(request, lock)
         if cycle is not None:
             self.deadlocks_detected += 1
+            if self.metrics is not None:
+                self.metrics.record_deadlock(request.txn_id, cycle)
             raise DeadlockError(request.txn_id, cycle)
         lock.waiting.append(request)
 
@@ -128,6 +140,9 @@ class LockManager:
         lock.granted.append(request)
         self._held_by_txn[request.txn_id].add(request.key)
         self._first_acquire_at.setdefault(request.txn_id, self.simulator.now)
+        if self.on_grant:
+            for hook in self.on_grant:
+                hook(request.txn_id, request.key, request.mode)
         self.simulator.call_soon(request.on_granted,
                                  name=f"lock-grant:{request.key}")
 
@@ -143,6 +158,9 @@ class LockManager:
         for key in keys:
             lock = self._table[key]
             lock.granted = [r for r in lock.granted if r.txn_id != txn_id]
+            if self.on_release:
+                for hook in self.on_release:
+                    hook(txn_id, key)
             self._wake_waiters(lock)
         # A victim may also be parked in wait queues — clear those too.
         for lock in self._table.values():
@@ -233,6 +251,14 @@ class LockManager:
 
     def waiting_count(self, key: str) -> int:
         return len(self._table[key].waiting)
+
+    def granted_count(self) -> int:
+        """Granted lock entries across every key (table depth gauge)."""
+        return sum(len(lock.granted) for lock in self._table.values())
+
+    def total_waiting(self) -> int:
+        """Queued waiters across every key (contention gauge)."""
+        return sum(len(lock.waiting) for lock in self._table.values())
 
     def assert_released(self, txn_id: str) -> None:
         if self._held_by_txn.get(txn_id):

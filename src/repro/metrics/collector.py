@@ -48,6 +48,14 @@ class HeuristicEvent:
 
 
 @dataclass
+class DeadlockRecord:
+    """One detected deadlock: the chosen victim and the waits-for cycle."""
+
+    victim: str
+    cycle: List[str] = field(default_factory=list)
+
+
+@dataclass
 class CostSummary:
     """The paper's (flows, log writes, forced writes) cost triple."""
 
@@ -75,7 +83,8 @@ class MetricsSnapshot:
                  log_ios: Dict, local_flows: Dict,
                  n_transactions: int = 0, n_heuristics: int = 0,
                  n_lock_holds: int = 0, n_force_latencies: int = 0,
-                 recovery_anomalies: Optional[Dict] = None) -> None:
+                 recovery_anomalies: Optional[Dict] = None,
+                 n_deadlocks: int = 0) -> None:
         self.flows = flows
         self.drops = drops
         self.log_writes = log_writes
@@ -86,6 +95,7 @@ class MetricsSnapshot:
         self.n_lock_holds = n_lock_holds
         self.n_force_latencies = n_force_latencies
         self.recovery_anomalies = recovery_anomalies or {}
+        self.n_deadlocks = n_deadlocks
 
 
 class MetricsCollector:
@@ -125,6 +135,9 @@ class MetricsCollector:
         self.transactions: List[TransactionRecord] = []
         self.heuristics: List[HeuristicEvent] = []
         self.lock_holds: List[float] = []
+        #: Deadlocks the lock tables detected; counted in
+        #: repro.lrm.locks before, but invisible in any report.
+        self.deadlocks: List[DeadlockRecord] = []
         #: (node, duration) per satisfied force request — the virtual
         #: time between requesting a force and its I/O completing
         #: (group commit makes this longer than io_latency).
@@ -159,6 +172,10 @@ class MetricsCollector:
 
     def record_heuristic(self, event: HeuristicEvent) -> None:
         self.heuristics.append(event)
+
+    def record_deadlock(self, victim: str,
+                        cycle: Optional[List[str]] = None) -> None:
+        self.deadlocks.append(DeadlockRecord(victim, list(cycle or [])))
 
     def record_lock_hold(self, duration: float) -> None:
         if duration < 0:
@@ -264,6 +281,13 @@ class MetricsCollector:
             match["detail"] = detail
         return self.recovery_anomalies.total(**match)
 
+    def deadlock_count(self) -> int:
+        return len(self.deadlocks)
+
+    def deadlock_victims(self) -> List[str]:
+        """Victim transaction ids, in detection order (may repeat)."""
+        return [record.victim for record in self.deadlocks]
+
     def damaged_heuristics(self) -> List[HeuristicEvent]:
         return [h for h in self.heuristics if h.damaged]
 
@@ -287,6 +311,7 @@ class MetricsCollector:
             n_lock_holds=len(self.lock_holds),
             n_force_latencies=len(self.force_latencies),
             recovery_anomalies=self.recovery_anomalies.snapshot(),
+            n_deadlocks=len(self.deadlocks),
         )
 
     def since(self, earlier: MetricsSnapshot) -> "MetricsCollector":
@@ -307,6 +332,7 @@ class MetricsCollector:
         window.transactions = self.transactions[earlier.n_transactions:]
         window.heuristics = self.heuristics[earlier.n_heuristics:]
         window.lock_holds = self.lock_holds[earlier.n_lock_holds:]
+        window.deadlocks = self.deadlocks[earlier.n_deadlocks:]
         window.force_latencies = \
             self.force_latencies[earlier.n_force_latencies:]
         return window

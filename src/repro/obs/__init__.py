@@ -1,38 +1,66 @@
-"""Observability layer: span tracing, run reports, kernel profiling.
+"""Observability layer: tracing, cost attribution, audit, reports.
 
 Strictly a consumer of hooks exposed by the lower layers (``core``,
-``log``, ``net``, ``sim``) — nothing below imports this package, and a
-cluster with no tracer attached does zero observability work.
+``log``, ``lrm``, ``net``, ``sim``) — nothing below imports this
+package, and a cluster with no instrument attached does zero
+observability work.
 
 * :class:`SpanTracer` — per-transaction span trees from protocol
   state transitions, log forces and message deliveries; exportable as
   text, JSONL, or Chrome ``trace_event`` JSON (see
   ``docs/OBSERVABILITY.md``).
+* :class:`CostLedger` — per-transaction attribution of every flow,
+  log write, forced write and lock-hold interval to (txn, node,
+  phase, type); yields each transaction's paper cost triple.
+* :class:`ConformanceAuditor` — diffs each completed transaction's
+  observed triple against the analytic formulas and classifies
+  divergences (expected-under-faults vs anomaly).
+* :class:`SimTimeSeries` — deterministic sim-time gauges (in-flight
+  transactions, lock depth, pending forces, wire occupancy) with an
+  ASCII sparkline dashboard.
 * :class:`RunReport` — latency/lock/log-force percentile summaries.
 * :class:`KernelProfiler` — opt-in wall-clock profile of simulator
   event handlers, grouped by event type.
 """
 
+from repro.obs.audit import (AuditFinding, ConformanceAuditor,
+                             expected_costs, merge_audit_cells,
+                             run_audit_cell, run_audit_matrix,
+                             run_faulty_audit_cell)
+from repro.obs.ledger import CostLedger, LockHold, TxnLedger
 from repro.obs.profiler import KernelProfiler
 from repro.obs.report import RunReport
 from repro.obs.span import (KIND_LOG, KIND_MESSAGE, KIND_PHASE, KIND_TXN,
                             Span, build_tree, render_span_tree,
                             spans_from_jsonl, spans_to_chrome,
                             spans_to_jsonl)
+from repro.obs.timeseries import SimTimeSeries, sparkline
 from repro.obs.tracer import PHASE_OF_STATE, SpanTracer
 
 __all__ = [
+    "AuditFinding",
+    "ConformanceAuditor",
+    "CostLedger",
     "KernelProfiler",
     "KIND_LOG",
     "KIND_MESSAGE",
     "KIND_PHASE",
     "KIND_TXN",
+    "LockHold",
     "PHASE_OF_STATE",
     "RunReport",
+    "SimTimeSeries",
     "Span",
     "SpanTracer",
+    "TxnLedger",
     "build_tree",
+    "expected_costs",
+    "merge_audit_cells",
     "render_span_tree",
+    "run_audit_cell",
+    "run_audit_matrix",
+    "run_faulty_audit_cell",
+    "sparkline",
     "spans_from_jsonl",
     "spans_to_chrome",
     "spans_to_jsonl",

@@ -26,13 +26,24 @@ class RunReport:
         self.distributions: Dict[str, Histogram] = {}
         #: scalar counters shown under the table.
         self.counters: Dict[str, float] = {}
+        #: free-form annotations (deadlock victims, audit anomalies);
+        #: merged by concatenation.
+        self.notes: List[str] = []
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_run(cls, cluster, tracer=None) -> "RunReport":
-        """Build from a finished cluster (and optional span tracer)."""
+    def from_run(cls, cluster, tracer=None, ledger=None,
+                 auditor=None) -> "RunReport":
+        """Build from a finished cluster.
+
+        ``tracer``, ``ledger`` and ``auditor`` (a
+        :class:`~repro.obs.tracer.SpanTracer`,
+        :class:`~repro.obs.ledger.CostLedger` and
+        :class:`~repro.obs.audit.ConformanceAuditor`) each contribute
+        their sections when supplied.
+        """
         report = cls()
         metrics = cluster.metrics
 
@@ -56,6 +67,22 @@ class RunReport:
                 histogram.record_many(durations)
                 report.distributions[f"phase: {phase}"] = histogram
 
+        if ledger is not None:
+            flows = Histogram()
+            writes = Histogram()
+            forced = Histogram()
+            lock_time = Histogram()
+            for txn_id in sorted(ledger.protocol_txn_ids()):
+                costs = ledger.cost_summary(txn_id)
+                flows.record(costs.flows)
+                writes.record(costs.log_writes)
+                forced.record(costs.forced_writes)
+                lock_time.record(ledger.lock_time(txn_id))
+            report.distributions["txn flows"] = flows
+            report.distributions["txn log writes"] = writes
+            report.distributions["txn forced writes"] = forced
+            report.distributions["txn lock time"] = lock_time
+
         outcomes: Dict[str, int] = {}
         for record in metrics.transactions:
             outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
@@ -65,11 +92,25 @@ class RunReport:
             "aborts": outcomes.get("abort", 0),
             "heuristic decisions": len(metrics.heuristics),
             "recovery anomalies": metrics.recovery_anomaly_count(),
+            "deadlocks detected": metrics.deadlock_count(),
             "commit flows": metrics.commit_flows(),
             "log writes": metrics.total_log_writes(),
             "forced writes": metrics.forced_log_writes(),
             "physical log I/Os": metrics.physical_ios(),
         }
+        for victim in metrics.deadlock_victims():
+            report.notes.append(f"deadlock victim: {victim}")
+
+        if auditor is not None:
+            counts = auditor.counts()
+            report.counters["audit conforms"] = counts["conforms"]
+            report.counters["audit expected-under-faults"] = \
+                counts["expected-under-faults"]
+            report.counters["audit anomalies"] = counts["anomaly"]
+            for finding in auditor.anomalies():
+                report.notes.append(
+                    f"audit anomaly: {finding.txn_id} observed "
+                    f"{finding.observed} expected {finding.expected}")
         return report
 
     def add_distribution(self, name: str, histogram: Histogram) -> None:
@@ -102,7 +143,13 @@ class RunReport:
             self.rows(), title=title)
         counter_lines = "\n".join(
             f"  {name}: {value}" for name, value in self.counters.items())
-        return f"{table}\n{counter_lines}" if counter_lines else table
+        note_lines = "\n".join(f"  note: {note}" for note in self.notes)
+        parts = [table]
+        if counter_lines:
+            parts.append(counter_lines)
+        if note_lines:
+            parts.append(note_lines)
+        return "\n".join(parts)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -110,6 +157,7 @@ class RunReport:
                               for name, histogram in
                               self.distributions.items()},
             "counters": dict(self.counters),
+            "notes": list(self.notes),
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -126,4 +174,5 @@ class RunReport:
                 mine.merge(histogram)
         for name, value in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
+        self.notes.extend(other.notes)
         return self

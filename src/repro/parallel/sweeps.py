@@ -25,19 +25,35 @@ Row = Dict[str, object]
 
 
 def presumption_cell(presumption: str, abort_rate: float,
-                     n_txns: int = 40, seed: int = 17) -> Row:
+                     n_txns: int = 40, seed: int = 17,
+                     audit: bool = False) -> Row:
     """Mean per-transaction cost of one presumption at one abort rate.
 
     Three-node transactions (at n=2 PC's collecting force exactly
     cancels its saved subordinate commit force, so the PA/PC crossover
     only appears for n >= 3); the middle subordinate vetoes with
     probability ``abort_rate`` on a seeded stream.
+
+    With ``audit=True`` a cost ledger and conformance auditor ride the
+    cell: committed transactions must match the commit-case formula
+    exactly, aborted ones classify as expected-under-faults, and the
+    row gains ``audit_ok`` / ``audit_expected`` / ``audit_anomalies``
+    columns.  Explicit transaction ids keep the cell bit-identical
+    between serial and worker-process execution.
     """
     from repro.analysis.sweeps import PRESUMPTIONS  # lazy: import cycle
 
     config = PRESUMPTIONS[presumption]
     cluster = Cluster(config, nodes=["c", "s1", "s2"], seed=seed)
     rng = RandomStream(seed)
+    auditor = None
+    if audit:
+        from repro.obs.audit import ConformanceAuditor, expected_costs
+        from repro.obs.ledger import CostLedger
+        ledger = CostLedger().attach(cluster)
+        auditor = ConformanceAuditor(
+            predictor=expected_costs(presumption, "baseline", 3))
+        auditor.attach(cluster, ledger)
     flows = writes = forced = 0
     committed = 0
     for i in range(n_txns):
@@ -47,13 +63,14 @@ def presumption_cell(presumption: str, abort_rate: float,
                             ops=[write_op(f"y{i}", i)],
                             veto=rng.chance(abort_rate)),
             ParticipantSpec(node="s2", parent="c",
-                            ops=[write_op(f"z{i}", i)])])
+                            ops=[write_op(f"z{i}", i)])],
+            txn_id=f"sweep-{presumption}-{abort_rate}-{i}")
         handle = cluster.run_transaction(spec)
         committed += bool(handle.committed)
         flows += cluster.metrics.commit_flows(txn=spec.txn_id)
         writes += cluster.metrics.total_log_writes(txn=spec.txn_id)
         forced += cluster.metrics.forced_log_writes(txn=spec.txn_id)
-    return {
+    row = {
         "presumption": presumption,
         "abort_rate": abort_rate,
         "committed": committed,
@@ -61,6 +78,13 @@ def presumption_cell(presumption: str, abort_rate: float,
         "writes": round(writes / n_txns, 3),
         "forced": round(forced / n_txns, 3),
     }
+    if auditor is not None:
+        auditor.finish()
+        counts = auditor.counts()
+        row["audit_ok"] = counts["conforms"]
+        row["audit_expected"] = counts["expected-under-faults"]
+        row["audit_anomalies"] = counts["anomaly"]
+    return row
 
 
 def presumption_study(workers: Optional[int] = None,
@@ -68,14 +92,43 @@ def presumption_study(workers: Optional[int] = None,
                                                       0.5, 0.9),
                       presumptions: Sequence[str] = ("basic", "pa", "pn",
                                                      "pc"),
-                      n_txns: int = 40, seed: int = 17) -> List[Row]:
+                      n_txns: int = 40, seed: int = 17,
+                      audit: bool = False) -> List[Row]:
     """Per-transaction cost of every presumption across abort rates."""
     grid = [{"presumption": name, "abort_rate": rate,
-             "n_txns": n_txns, "seed": seed}
+             "n_txns": n_txns, "seed": seed, "audit": audit}
             for rate in abort_rates for name in presumptions]
     return sweep(presumption_cell, grid, workers=workers,
                  label=lambda p: f"presumptions {p['presumption']} "
                                  f"abort={p['abort_rate']}")
+
+
+def audit_matrix_study(workers: Optional[int] = None,
+                       audit: bool = True) -> List[Row]:
+    """One row per (protocol, variant) audit cell.
+
+    ``audit`` is accepted for signature uniformity with the other
+    studies (this study always audits — that is its point).
+    """
+    del audit
+    from repro.obs.audit import run_audit_matrix
+
+    report = run_audit_matrix(workers=workers)
+    rows: List[Row] = []
+    for cell in report["cells"]:
+        expected = cell["expected"]
+        rows.append({
+            "protocol": cell["protocol"],
+            "variant": cell["variant"],
+            "txns": cell["txns"],
+            "expected": (f"{expected['flows']}f/"
+                         f"{expected['log_writes']}w/"
+                         f"{expected['forced_writes']}F"),
+            "conforms": cell["conforms"],
+            "expected_under_faults": cell["expected_under_faults"],
+            "anomalies": cell["anomalies"],
+        })
+    return rows
 
 
 def tree_size_study(workers: Optional[int] = None) -> List[Row]:
@@ -105,11 +158,16 @@ STUDIES: Dict[str, Callable[..., List[Row]]] = {
     "tree-depth": tree_depth_study,
     "read-only": read_only_study,
     "link-speed": link_speed_study,
+    "audit-matrix": audit_matrix_study,
 }
+
+#: Studies whose cells can carry a cost ledger + conformance auditor
+#: (``repro-2pc sweep --audit``).
+AUDITABLE_STUDIES = frozenset({"presumptions", "audit-matrix"})
 
 
 def run_study(name: str, workers: Optional[int] = None,
-              profiler=None) -> List[Row]:
+              profiler=None, audit: bool = False) -> List[Row]:
     """Run a named study; raises KeyError for unknown names.
 
     ``profiler`` (a :class:`repro.obs.KernelProfiler`) is activated for
@@ -117,9 +175,17 @@ def run_study(name: str, workers: Optional[int] = None,
     profiles into it.  The profiler accumulates in-process, so it
     forces the study serial — worker processes would profile into
     their own copies and throw them away.
+
+    ``audit`` attaches a cost ledger and conformance auditor inside
+    each cell (auditable studies only; raises ValueError otherwise).
     """
     study = STUDIES[name]
+    if audit and name not in AUDITABLE_STUDIES:
+        raise ValueError(
+            f"study {name!r} does not support --audit; auditable: "
+            f"{', '.join(sorted(AUDITABLE_STUDIES))}")
+    kwargs = {"audit": True} if audit else {}
     if profiler is None:
-        return study(workers=workers)
+        return study(workers=workers, **kwargs)
     with profiler:
-        return study(workers=1)
+        return study(workers=1, **kwargs)

@@ -149,6 +149,13 @@ class Simulator:
         """Register a hook invoked before every event fires (tracing)."""
         self._event_hooks.append(hook)
 
+    def remove_event_hook(self, hook: Callable[[Event], None]) -> None:
+        """Remove a previously added event hook (idempotent)."""
+        try:
+            self._event_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def set_profiler(self,
                      profiler: Optional["KernelProfilerProtocol"]) -> None:
         """Install (or with ``None`` remove) an event-handling profiler.

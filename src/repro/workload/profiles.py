@@ -14,13 +14,19 @@ from repro.core.cluster import Cluster
 from repro.core.config import PRESUMED_ABORT, ProtocolConfig
 from repro.core.spec import ParticipantSpec, TransactionSpec
 from repro.lrm.operations import read_op, write_op
+from repro.metrics.collector import CostSummary
 from repro.net.latency import LatencyModel, SatelliteLink
 from repro.workload.chains import chained_transaction_specs
 
 
 @dataclass
 class WorkloadProfile:
-    """A named scenario: config + topology + transaction stream."""
+    """A named scenario: config + topology + transaction stream.
+
+    ``expected_costs`` is the analytic per-transaction cost triple in
+    the failure-free case; when set, ``repro-2pc profile --audit``
+    conformance-checks every transaction against it.
+    """
 
     name: str
     description: str
@@ -29,6 +35,7 @@ class WorkloadProfile:
     specs: Callable[[], List[TransactionSpec]]
     latency: Optional[LatencyModel] = None
     reliable_nodes: List[str] = field(default_factory=list)
+    expected_costs: Optional[CostSummary] = None
 
     def build_cluster(self, seed: int = 0) -> Cluster:
         return Cluster(self.config, nodes=self.nodes, seed=seed,
@@ -47,7 +54,11 @@ def banking_reconciliation(r: int = 12) -> WorkloadProfile:
         config=PRESUMED_ABORT.with_options(long_locks=True),
         nodes=["bank-a", "bank-b"],
         specs=lambda: chained_transaction_specs(
-            r, "bank-a", "bank-b", long_locks=True))
+            r, "bank-a", "bank-b", long_locks=True),
+        # Table 4, long-locks variant, per transaction: the deferred
+        # ack leaves 3 of the baseline's 4 flows.
+        expected_costs=CostSummary(flows=3, log_writes=5,
+                                   forced_writes=3))
 
 
 def travel_booking(satellite_delay: float = 50.0) -> WorkloadProfile:
@@ -80,7 +91,12 @@ def travel_booking(satellite_delay: float = 50.0) -> WorkloadProfile:
         nodes=["agency", "hotel", "car-rental", "airline"],
         specs=build_specs,
         latency=SatelliteLink("airline", slow_delay=satellite_delay,
-                              fast_delay=1.0))
+                              fast_delay=1.0),
+        # n=4 baseline (12, 11, 7) minus the read-only car lookup
+        # (-2 flows, -3 writes, -2 forced) minus the last-agent
+        # delegation to the airline (-2 flows).
+        expected_costs=CostSummary(flows=8, log_writes=8,
+                                   forced_writes=5))
 
 
 def read_mostly_reporting(n: int = 8, readers: int = 6) -> WorkloadProfile:
@@ -107,7 +123,12 @@ def read_mostly_reporting(n: int = 8, readers: int = 6) -> WorkloadProfile:
         description=f"{readers} of {n - 1} branches are read-only",
         config=PRESUMED_ABORT,
         nodes=nodes,
-        specs=build_specs)
+        specs=build_specs,
+        # Table 3 read-only row at n=8, m=6: 4(n-1)-2m flows,
+        # 3n-1-3m writes, 2n-1-2m forced.
+        expected_costs=CostSummary(flows=4 * (n - 1) - 2 * readers,
+                                   log_writes=3 * n - 1 - 3 * readers,
+                                   forced_writes=2 * n - 1 - 2 * readers))
 
 
 PROFILES: Dict[str, Callable[[], WorkloadProfile]] = {

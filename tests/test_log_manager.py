@@ -197,3 +197,19 @@ class TestGroupCommit:
         assert log.force_requests == 20
         # 20 forces in groups of ~5: far fewer I/Os than forces.
         assert metrics.physical_ios("n") <= 6
+
+
+def test_rejected_write_leaves_no_side_effects(log, metrics):
+    """Regression: the on_durable-without-force validation must fire
+    before any side effect — no record appended, no LSN consumed, no
+    hook invoked, no metrics attributed."""
+    seen = []
+    log.on_write.append(seen.append)
+    with pytest.raises(ValueError):
+        log.write("t", LogRecordType.END, on_durable=lambda: None)
+    assert log.buffered_count == 0
+    assert seen == []
+    assert metrics.total_log_writes() == 0
+    # The next valid write gets the first LSN: none was consumed.
+    record = log.write("t", LogRecordType.END)
+    assert record.lsn == 1

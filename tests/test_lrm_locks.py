@@ -173,3 +173,73 @@ def test_mixed_wakeup_grants_compatible_prefix(locks, simulator):
     # Both shared readers wake, the exclusive waits.
     assert ("t2", "k") in granted and ("t3", "k") in granted
     assert ("t4", "k") not in granted
+
+
+class TestLockHooks:
+    """The on_grant/on_release hook lists the cost ledger rides."""
+
+    def hooked(self, locks):
+        events = []
+        locks.on_grant.append(
+            lambda txn, key, mode: events.append(("grant", txn, key, mode)))
+        locks.on_release.append(
+            lambda txn, key: events.append(("release", txn, key)))
+        return events
+
+    def test_grant_and_release_fire_in_order(self, locks, simulator):
+        events = self.hooked(locks)
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE, lambda: None)
+        simulator.run()
+        assert events == [("grant", "t1", "k", LockMode.EXCLUSIVE)]
+        locks.release_all("t1")
+        assert events[-1] == ("release", "t1", "k")
+
+    def test_reentrant_acquire_fires_no_second_grant(self, locks,
+                                                     simulator):
+        events = self.hooked(locks)
+        locks.acquire("t1", "k", LockMode.SHARED, lambda: None)
+        locks.acquire("t1", "k", LockMode.SHARED, lambda: None)
+        simulator.run()
+        assert len([e for e in events if e[0] == "grant"]) == 1
+
+    def test_sole_holder_upgrade_fires_no_second_grant(self, locks,
+                                                       simulator):
+        events = self.hooked(locks)
+        locks.acquire("t1", "k", LockMode.SHARED, lambda: None)
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE, lambda: None)
+        simulator.run()
+        # Strengthened in place: one hold interval, not two.
+        assert len([e for e in events if e[0] == "grant"]) == 1
+        locks.release_all("t1")
+        assert len([e for e in events if e[0] == "release"]) == 1
+
+    def test_waiter_grant_fires_hook_at_wakeup(self, locks, simulator):
+        events = self.hooked(locks)
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE, lambda: None)
+        locks.acquire("t2", "k", LockMode.EXCLUSIVE, lambda: None)
+        simulator.run()
+        assert ("grant", "t2", "k", LockMode.EXCLUSIVE) not in events
+        locks.release_all("t1")
+        simulator.run()
+        assert ("grant", "t2", "k", LockMode.EXCLUSIVE) in events
+
+    def test_no_hooks_installed_is_free(self, locks, simulator):
+        # The skip-when-empty pattern: empty lists, nothing to call.
+        assert locks.on_grant == [] and locks.on_release == []
+        locks.acquire("t1", "k", LockMode.EXCLUSIVE, lambda: None)
+        simulator.run()
+        locks.release_all("t1")
+
+    def test_granted_count_and_total_waiting(self, locks, simulator):
+        locks.acquire("t1", "a", LockMode.SHARED, lambda: None)
+        locks.acquire("t2", "a", LockMode.SHARED, lambda: None)
+        locks.acquire("t3", "a", LockMode.EXCLUSIVE, lambda: None)
+        locks.acquire("t1", "b", LockMode.EXCLUSIVE, lambda: None)
+        simulator.run()
+        assert locks.granted_count() == 3
+        assert locks.total_waiting() == 1
+        locks.release_all("t1")
+        locks.release_all("t2")
+        simulator.run()
+        assert locks.granted_count() == 1  # t3 woke up on "a"
+        assert locks.total_waiting() == 0

@@ -231,3 +231,79 @@ class TestHistogram:
         restored = Histogram.from_dict(histogram.to_dict())
         assert restored.count == histogram.count
         assert restored.summary() == histogram.summary()
+
+
+class TestHistogramMergeEdges:
+    def test_merge_empty_into_empty(self):
+        left = Histogram().merge(Histogram())
+        assert left.count == 0
+        assert left.min is None and left.max is None
+        assert left.mean == 0.0 and left.p99 == 0.0
+
+    def test_merge_populated_into_empty(self):
+        left, right = Histogram(), Histogram()
+        right.record_many([1.0, 4.0])
+        left.merge(right)
+        assert left.count == 2
+        assert left.min == 1.0 and left.max == 4.0
+        assert left.mean == pytest.approx(2.5)
+
+    def test_merge_empty_into_populated_changes_nothing(self):
+        left = Histogram()
+        left.record_many([1.0, 4.0])
+        before = left.summary()
+        left.merge(Histogram())
+        assert left.summary() == before
+
+    def test_merged_percentiles_match_combined_recording(self):
+        left, right, combined = Histogram(), Histogram(), Histogram()
+        lows = [float(i) for i in range(1, 51)]
+        highs = [float(i) for i in range(51, 101)]
+        left.record_many(lows)
+        right.record_many(highs)
+        combined.record_many(lows + highs)
+        left.merge(right)
+        assert left.counts == combined.counts
+        for q in (0.5, 0.9, 0.99):
+            assert left.percentile(q) == combined.percentile(q)
+
+    def test_single_value_percentiles_clamp_to_extremes(self):
+        histogram = Histogram()
+        histogram.record(7.0)
+        # min == max: every quantile collapses to the one value, not
+        # to a bucket-edge artifact.
+        assert histogram.percentile(0.0) == 7.0
+        assert histogram.percentile(0.5) == 7.0
+        assert histogram.percentile(1.0) == 7.0
+
+
+class TestDeadlockMetrics:
+    def test_record_count_and_victims(self):
+        metrics = MetricsCollector()
+        assert metrics.deadlock_count() == 0
+        metrics.record_deadlock("t2", ["t1", "t2"])
+        metrics.record_deadlock("t4", ["t3", "t4"])
+        assert metrics.deadlock_count() == 2
+        assert metrics.deadlock_victims() == ["t2", "t4"]
+        assert metrics.deadlocks[0].cycle == ["t1", "t2"]
+
+    def test_since_windows_deadlocks(self):
+        metrics = MetricsCollector()
+        metrics.record_deadlock("t1", ["t1", "t2"])
+        snap = metrics.snapshot()
+        metrics.record_deadlock("t3", ["t3", "t4"])
+        window = metrics.since(snap)
+        assert window.deadlock_count() == 1
+        assert window.deadlock_victims() == ["t3"]
+
+    def test_run_report_surfaces_deadlocks(self):
+        from repro.core.cluster import Cluster
+        from repro.core.config import PRESUMED_ABORT
+        from repro.obs import RunReport
+
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+        cluster.metrics.record_deadlock("t9", ["t8", "t9"])
+        report = RunReport.from_run(cluster)
+        assert report.counters["deadlocks detected"] == 1
+        assert "deadlock victim: t9" in report.notes
+        assert "note: deadlock victim: t9" in report.render()
