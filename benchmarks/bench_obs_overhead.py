@@ -11,7 +11,13 @@ Three configurations of the same protocol workload (a stream of
   event handler with ``perf_counter`` pairs;
 * **ledger on** — a :class:`repro.obs.CostLedger` plus a
   :class:`repro.obs.ConformanceAuditor` attributing every cost event
-  and diffing each transaction against the analytic formula.
+  and diffing each transaction against the analytic formula;
+* **chaos off** — a :class:`repro.chaos.ChaosEngine` with an *empty*
+  schedule installed as the network adversary.  Every send pays the
+  adversary dispatch and gets the default delivery back, bounding the
+  cost of the chaos hook from above: the true disabled path
+  (``Network.adversary is None``, what every other configuration
+  here runs) does strictly less work per send.
 
 The committed trajectory lives in ``BENCH_obs.json`` (written by
 ``python benchmarks/run_baseline.py --update``); the check gate fails
@@ -44,9 +50,13 @@ SMOKE_TXNS = 120
 
 
 def run_workload(n_txns: int, tracing: bool = False,
-                 profiling: bool = False, auditing: bool = False) -> float:
+                 profiling: bool = False, auditing: bool = False,
+                 chaos_off: bool = False) -> float:
     """Run ``n_txns`` 3-node PA commits; return simulator events/second."""
     cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s1", "s2"])
+    if chaos_off:
+        from repro.chaos import ChaosEngine
+        ChaosEngine().install(cluster)
     tracer = SpanTracer().attach(cluster) if tracing else None
     profiler = KernelProfiler() if profiling else None
     if profiler is not None:
@@ -80,6 +90,7 @@ def measure(n_txns: int = SMOKE_TXNS, repeats: int = 3) -> dict:
                         repeats)
     auditing = best_of(lambda: run_workload(n_txns, auditing=True),
                        repeats)
+    chaos = best_of(lambda: run_workload(n_txns, chaos_off=True), repeats)
     kernel = best_of(lambda: hot_run_until(100_000), repeats)
     return {
         "tracing_off": {"eps": round(off)},
@@ -97,6 +108,11 @@ def measure(n_txns: int = SMOKE_TXNS, repeats: int = 3) -> dict:
             "eps": round(auditing),
             "ratio": round(auditing / off, 3),
             "overhead": round(off / auditing - 1.0, 3),
+        },
+        "chaos_off": {
+            "eps": round(chaos),
+            "ratio": round(chaos / off, 3),
+            "overhead": round(off / chaos - 1.0, 3),
         },
         # Comparable to BENCH_kernel.json's hot_run_until eps: the
         # hooks-disabled kernel path with the profiler branch in place.
@@ -125,6 +141,22 @@ def test_tracing_overhead_bounded():
     assert tracing >= off * 0.5, (
         f"span tracing costs too much: {off:,.0f} -> {tracing:,.0f} "
         f"events/s")
+
+
+def test_chaos_disabled_path_free():
+    """The chaos hook must not tax runs without adversaries.
+
+    Measured with an *empty* engine installed — an upper bound on the
+    dispatch cost, since the default ``adversary is None`` path does
+    strictly less per send.  Even that bound must stay within noise
+    of the uninstrumented run.
+    """
+    off = best_of(lambda: run_workload(SMOKE_TXNS), repeats=2)
+    chaos = best_of(lambda: run_workload(SMOKE_TXNS, chaos_off=True),
+                    repeats=2)
+    assert chaos >= off * 0.85, (
+        f"chaos adversary dispatch costs too much with no adversaries: "
+        f"{off:,.0f} -> {chaos:,.0f} events/s")
 
 
 def test_ledger_overhead_bounded():

@@ -158,7 +158,9 @@ def check_obs_baseline(tolerance: float) -> int:
     current = measure_obs(n_txns=SMOKE_TXNS, repeats=3)
 
     failures = 0
-    for name in ("tracing_on", "profiler_on", "ledger_on"):
+    for name in ("tracing_on", "profiler_on", "ledger_on", "chaos_off"):
+        if name not in current:
+            continue
         ratio = current[name]["ratio"]
         recorded = committed["metrics"].get(name, {}).get("ratio")
         line = (f"{name}: {current[name]['eps']:,} events/s, "
@@ -167,7 +169,8 @@ def check_obs_baseline(tolerance: float) -> int:
         if recorded:
             floor = recorded * (1.0 - tolerance)
             line += f" [committed ratio {recorded}, floor {floor:.3f}]"
-            if name in ("tracing_on", "ledger_on") and ratio < floor:
+            if name in ("tracing_on", "ledger_on", "chaos_off") \
+                    and ratio < floor:
                 line += "  <-- REGRESSION"
                 failures += 1
         print(line)
@@ -221,6 +224,18 @@ def run_torture_matrix() -> int:
     return 0 if report.clean else 1
 
 
+def run_chaos_gate() -> int:
+    """Full fixed-seed chaos campaign: 13 seeded adversary schedules
+    per config x variant cell (208 runs).  Any checker violation,
+    hung run or durable disagreement is a correctness regression, so
+    this gate has no tolerance."""
+    from repro.chaos import run_chaos_campaign
+    print("== adversarial network chaos campaign (full) ==")
+    report = run_chaos_campaign(seed=0)
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
@@ -233,6 +248,10 @@ def main(argv=None) -> int:
     parser.add_argument("--audit", action="store_true",
                         help="also run the conformance audit matrix "
                              "(repro-2pc audit --faults) as a "
+                             "zero-tolerance correctness gate")
+    parser.add_argument("--chaos", action="store_true",
+                        help="also run the full fixed-seed chaos "
+                             "campaign (repro-2pc chaos) as a "
                              "zero-tolerance correctness gate")
     parser.add_argument("--skip-tests", action="store_true",
                         help="skip the tier-1 suite")
@@ -255,6 +274,12 @@ def main(argv=None) -> int:
         status = run_audit_gate()
         if status:
             print("conformance audit gate failed", file=sys.stderr)
+            return status
+    if args.chaos:
+        status = run_chaos_gate()
+        if status:
+            print("chaos campaign found failing schedules",
+                  file=sys.stderr)
             return status
     if args.update:
         return update_baseline()

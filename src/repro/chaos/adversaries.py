@@ -1,0 +1,219 @@
+"""Composable, seeded network adversaries.
+
+A :class:`ChaosSchedule` is a concrete, JSON-serializable list of
+adversary actions.  Delivery-rewriting actions address the message they
+attack by its **global send ordinal** — the zero-based position of the
+send among every message the run transmits — which is stable because
+the simulator is deterministic for a given seed (the same addressing
+trick the torture matrix uses for crash sites).  Link-flapping actions
+are time-addressed partition/heal pairs.
+
+Action kinds:
+
+``duplicate``
+    Deliver the message ``copies`` extra times, each ``gap`` apart,
+    out of FIFO order (at-least-once delivery).
+``delay``
+    Hold the delivery ``extra`` longer while *keeping* the FIFO clamp,
+    so the spike pushes everything behind it on the link (a congested
+    session).
+``reorder``
+    Hold the delivery ``extra`` longer and *bypass* the FIFO clamp, so
+    later messages on the link overtake it (a violated session
+    guarantee).
+``hold``
+    A large non-FIFO delay: the message arrives long after the
+    transaction's forget point — the stale-delivery case the
+    presumption logic exists to survive.
+``flap``
+    Partition the ``(a, b)`` link at ``at`` and heal it at ``heal_at``
+    (messages sent or in flight during the window are lost; the
+    protocol's own timeouts recover).
+
+Schedules are generated deterministically from a seed via
+:func:`generate_schedule`, so a campaign is replayable from its seed
+alone — and a *failing* schedule shrinks action-by-action into a
+minimal replayable artifact (see :mod:`repro.chaos.campaign`).
+
+The engine is off by default: a :class:`Network` without an installed
+adversary takes its historical FIFO at-most-once path bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cluster import Cluster
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+from repro.sim.randomness import RandomStream
+
+#: Delivery-rewriting kinds (ordinal-addressed) plus the time-addressed
+#: link flap.
+ACTION_KINDS = ("duplicate", "delay", "reorder", "hold", "flap")
+
+
+def validate_action(action: Dict) -> Dict:
+    """Check one schedule action; returns it (raises on bad shape)."""
+    kind = action.get("kind")
+    if kind not in ACTION_KINDS:
+        raise ConfigurationError(
+            f"unknown chaos action kind {kind!r}; expected one of "
+            f"{ACTION_KINDS}")
+    if kind == "flap":
+        for field in ("a", "b", "at", "heal_at"):
+            if field not in action:
+                raise ConfigurationError(
+                    f"flap action missing {field!r}: {action}")
+        if action["at"] < 0:
+            raise ConfigurationError(
+                f"flap at {action['at']} is negative")
+        if action["heal_at"] <= action["at"]:
+            raise ConfigurationError(
+                f"flap heal_at {action['heal_at']} must follow at "
+                f"{action['at']}")
+        return action
+    nth = action.get("nth")
+    if nth is None or int(nth) < 0:
+        raise ConfigurationError(
+            f"{kind} action needs a non-negative send ordinal 'nth': "
+            f"{action}")
+    if kind == "duplicate":
+        if int(action.get("copies", 1)) < 1:
+            raise ConfigurationError(
+                f"duplicate action needs copies >= 1: {action}")
+        if float(action.get("gap", 0.0)) < 0:
+            raise ConfigurationError(
+                f"duplicate gap must be >= 0: {action}")
+    else:
+        if float(action.get("extra", 0.0)) <= 0:
+            raise ConfigurationError(
+                f"{kind} action needs a positive 'extra' delay: {action}")
+    return action
+
+
+class ChaosSchedule:
+    """An ordered list of validated adversary actions."""
+
+    def __init__(self, actions: Sequence[Dict]) -> None:
+        self.actions: List[Dict] = [validate_action(dict(a))
+                                    for a in actions]
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def to_list(self) -> List[Dict]:
+        return [dict(a) for a in self.actions]
+
+    def without(self, index: int) -> "ChaosSchedule":
+        """A copy with the ``index``-th action removed (for shrinking)."""
+        return ChaosSchedule(self.actions[:index]
+                             + self.actions[index + 1:])
+
+    def subset(self, indices: Sequence[int]) -> "ChaosSchedule":
+        return ChaosSchedule([self.actions[i] for i in indices])
+
+    def describe(self) -> str:
+        if not self.actions:
+            return "(no adversaries)"
+        parts = []
+        for action in self.actions:
+            if action["kind"] == "flap":
+                parts.append(f"flap {action['a']}-{action['b']} "
+                             f"[{action['at']}, {action['heal_at']}]")
+            else:
+                parts.append(f"{action['kind']}@send#{action['nth']}")
+        return ", ".join(parts)
+
+
+def generate_schedule(seed: int, nodes: Sequence[str],
+                      max_actions: int = 4,
+                      max_ordinal: int = 17) -> ChaosSchedule:
+    """Deterministically derive a chaos schedule from a seed.
+
+    Draws 1..``max_actions`` actions from one :class:`RandomStream`, so
+    the same seed always yields the same schedule.  Ordinals beyond the
+    run's actual send count simply never fire (the schedule is still
+    valid — part of the attack surface is *where* the run ends).
+    """
+    rng = RandomStream(seed)
+    count = rng.randint(1, max_actions)
+    actions: List[Dict] = []
+    for _ in range(count):
+        kind = rng.choice(ACTION_KINDS)
+        if kind == "flap":
+            a, b = rng.sample(list(nodes), 2)
+            at = round(rng.uniform(1.0, 40.0), 3)
+            actions.append({"kind": "flap", "a": a, "b": b, "at": at,
+                            "heal_at": round(at + rng.uniform(2.0, 12.0),
+                                             3)})
+            continue
+        nth = rng.randint(0, max_ordinal)
+        if kind == "duplicate":
+            actions.append({"kind": "duplicate", "nth": nth,
+                            "copies": rng.randint(1, 2),
+                            "gap": round(rng.uniform(0.1, 3.0), 3)})
+        elif kind == "delay":
+            actions.append({"kind": "delay", "nth": nth,
+                            "extra": round(rng.uniform(2.0, 15.0), 3)})
+        elif kind == "reorder":
+            actions.append({"kind": "reorder", "nth": nth,
+                            "extra": round(rng.uniform(0.5, 5.0), 3)})
+        else:  # hold: past any plausible forget point
+            actions.append({"kind": "hold", "nth": nth,
+                            "extra": round(rng.uniform(30.0, 90.0), 3)})
+    return ChaosSchedule(actions)
+
+
+class ChaosEngine:
+    """Installs a :class:`ChaosSchedule` on a cluster's network.
+
+    The engine is the network's :attr:`~repro.net.network.Network.adversary`:
+    for each transmitted message it either returns ``None`` (take the
+    default FIFO at-most-once path — bit-identical to no adversary) or
+    a list of ``(extra_delay, fifo)`` delivery plans.
+    """
+
+    def __init__(self, schedule: Optional[ChaosSchedule] = None) -> None:
+        self.schedule = schedule or ChaosSchedule([])
+        self._by_ordinal: Dict[int, Dict] = {}
+        for action in self.schedule.actions:
+            if action["kind"] != "flap":
+                # Last action addressing an ordinal wins; generation
+                # rarely collides and shrinking only removes actions.
+                self._by_ordinal[int(action["nth"])] = action
+        self._ordinal = 0
+        #: Ordinal-addressed actions that actually fired, with the
+        #: message they hit (diagnostics for failure artifacts).
+        self.fired: List[Tuple[int, str, str]] = []
+
+    def install(self, cluster: Cluster) -> "ChaosEngine":
+        """Become the network adversary and arm the flap timeline."""
+        cluster.network.adversary = self
+        for action in self.schedule.actions:
+            if action["kind"] == "flap":
+                cluster.partition_at(action["a"], action["b"],
+                                     action["at"])
+                cluster.heal_at(action["a"], action["b"],
+                                action["heal_at"])
+        return self
+
+    def plan(self, message: Message,
+             delay: float) -> Optional[List[Tuple[float, bool]]]:
+        ordinal = self._ordinal
+        self._ordinal += 1
+        action = self._by_ordinal.get(ordinal)
+        if action is None:
+            return None
+        self.fired.append((ordinal, action["kind"], message.describe()))
+        kind = action["kind"]
+        if kind == "duplicate":
+            plans = [(0.0, True)]
+            gap = float(action.get("gap", 0.0))
+            for copy in range(int(action.get("copies", 1))):
+                plans.append((gap * (copy + 1), False))
+            return plans
+        if kind == "delay":
+            return [(float(action["extra"]), True)]
+        # reorder / hold: late and out of order.
+        return [(float(action["extra"]), False)]

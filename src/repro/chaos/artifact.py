@@ -1,0 +1,68 @@
+"""Replayable chaos-failure artifacts.
+
+Same envelope as the torture artifacts (version / kind / cell
+coordinates / workload spec) with the shrunk adversary schedule in
+place of a crash site.  ``repro-2pc chaos --replay FILE`` feeds one
+back through :func:`repro.chaos.campaign.replay_chaos_artifact`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, List, Optional
+
+from repro.core.spec import TransactionSpec
+from repro.torture.artifact import spec_to_dict
+
+ARTIFACT_VERSION = 1
+ARTIFACT_KIND = "chaos-schedule-failure"
+
+
+def build_chaos_artifact(config_name: str, variant: str, seed: int,
+                         schedule: List[Dict], verdict: str,
+                         violations: List[str],
+                         spec: Optional[TransactionSpec] = None) -> Dict:
+    data: Dict = {
+        "version": ARTIFACT_VERSION,
+        "kind": ARTIFACT_KIND,
+        "config": config_name,
+        "variant": variant,
+        "seed": seed,
+        "schedule": [dict(action) for action in schedule],
+        "verdict": verdict,
+        "violations": list(violations),
+    }
+    if spec is not None:
+        data["spec"] = spec_to_dict(spec)
+    return data
+
+
+def chaos_artifact_filename(data: Dict) -> str:
+    digest = zlib.crc32(json.dumps(data["schedule"],
+                                   sort_keys=True).encode("utf-8"))
+    return (f"chaos-{data['config']}-{data['variant']}-"
+            f"s{data['seed']}-{digest:08x}.json")
+
+
+def save_chaos_artifact(data: Dict, directory: str) -> str:
+    """Write one artifact; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, chaos_artifact_filename(data))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_chaos_artifact(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("kind") != ARTIFACT_KIND:
+        raise ValueError(f"{path} is not a chaos artifact "
+                         f"(kind={data.get('kind')!r})")
+    if data.get("version") != ARTIFACT_VERSION:
+        raise ValueError(f"{path} has unsupported artifact version "
+                         f"{data.get('version')!r}")
+    return data

@@ -484,6 +484,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-run the single site a failure "
                               "artifact describes instead of sweeping")
 
+    from repro.chaos import CHAOS_VARIANTS
+    chaos = sub.add_parser(
+        "chaos", help="adversarial network chaos campaign: sweep seeded "
+                      "schedules of duplication, reordering, delay "
+                      "spikes, link flaps and stale delivery across the "
+                      "protocol x variant grid, shrinking any failure "
+                      "to a minimal replayable artifact")
+    chaos.add_argument("--configs", nargs="+", choices=CONFIG_NAMES,
+                       default=None,
+                       help="presumption configs (default: all four)")
+    chaos.add_argument("--variants", nargs="+", choices=CHAOS_VARIANTS,
+                       default=None,
+                       help="optimization variants (default: all)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--schedules", type=int, default=None,
+                       help="seeded schedules per cell (default 13, "
+                            "i.e. 208 runs over the full grid)")
+    chaos.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: "
+                            "$REPRO_SWEEP_WORKERS or serial)")
+    chaos.add_argument("--artifacts", default=None, metavar="DIR",
+                       help="write a shrunk replayable JSON artifact "
+                            "per failing schedule into DIR")
+    chaos.add_argument("--replay", default=None, metavar="FILE",
+                       help="re-run the single schedule a failure "
+                            "artifact describes instead of sweeping")
+
     sub.add_parser("report", help="regenerate every table and figure "
                                   "as one markdown report on stdout")
 
@@ -534,6 +561,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                                seed=args.seed, workers=args.workers,
                                max_sites=args.max_sites,
                                artifact_dir=args.artifacts)
+        print(report.describe())
+        return 0 if report.clean else 1
+    if args.command == "chaos":
+        if args.replay is not None:
+            from repro.chaos import load_chaos_artifact, \
+                replay_chaos_artifact
+            run = replay_chaos_artifact(load_chaos_artifact(args.replay))
+            print(run.describe())
+            for violation in run.violations:
+                print(f"  {violation}")
+            return 0 if run.ok else 1
+        from repro.chaos import run_chaos_campaign
+        from repro.chaos.campaign import DEFAULT_SCHEDULES
+        report = run_chaos_campaign(
+            configs=args.configs, variants=args.variants, seed=args.seed,
+            schedules=(args.schedules if args.schedules is not None
+                       else DEFAULT_SCHEDULES),
+            workers=args.workers, artifact_dir=args.artifacts)
         print(report.describe())
         return 0 if report.clean else 1
     if args.command == "report":

@@ -187,6 +187,12 @@ class DecisionMixin:
             # Duplicate delivery after we forgot (e.g. recovery retry).
             self._ack_duplicate_outcome(message, outcome)
             return
+        if self._duplicate_decision(context, outcome):
+            # At-least-once delivery of a decision we are already
+            # applying (or have applied).  Running the decision
+            # machinery again would force a second durable outcome
+            # record and re-send phase-two flows downstream.
+            return
         if context.state in (TxnState.HEURISTIC_COMMITTED,
                              TxnState.HEURISTIC_ABORTED):
             self.resolve_heuristic(context, outcome, via_recovery=False)
@@ -212,6 +218,17 @@ class DecisionMixin:
             self._subordinate_commit(context)
         else:
             self._subordinate_abort(context)
+
+    def _duplicate_decision(self: "TMNode", context: CommitContext,
+                            outcome: str) -> bool:
+        """Is this COMMIT/ABORT a re-delivery of the decision already
+        in force?  (Factored out so the chaos acceptance test can
+        disable the guard and watch the campaign catch the bug.)"""
+        return (context.outcome == outcome
+                and context.state in (TxnState.COMMITTING,
+                                      TxnState.COMMITTED,
+                                      TxnState.ABORTING,
+                                      TxnState.ABORTED))
 
     def _ack_duplicate_outcome(self: "TMNode", message: Message,
                                outcome: str) -> None:

@@ -42,9 +42,16 @@ class HeuristicMixin:
                 self.config.heuristic_timeout,
                 lambda: self._heuristic_fire(context),
                 name=f"heuristic:{context.txn_id}@{self.name}")
+        # A delegating coordinator is in doubt toward its last agent
+        # exactly like a subordinate toward its coordinator, whatever
+        # the recovery direction the presumption prescribes: it gave
+        # the decision away, so it must be able to ask for it back
+        # (e.g. when the delegation or its answer is lost or stalled).
+        delegator = (context.parent is None
+                     and context.last_agent_child is not None)
         if self.config.inquiry_timeout is not None \
-                and not self.config.coordinator_driven_recovery \
-                and context.parent is not None:
+                and ((not self.config.coordinator_driven_recovery
+                      and context.parent is not None) or delegator):
             context.retry_timer = self.simulator.timer(
                 self.config.inquiry_timeout,
                 lambda: self._inquiry_timeout(context),

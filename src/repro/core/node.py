@@ -383,6 +383,13 @@ class TMNode(VotingMixin, DecisionMixin, HeuristicMixin, RecoveryMixin):
 
     def on_data(self, message: Message) -> None:
         if message.flag("enroll"):
+            if self.ctx(message.txn_id) is not None:
+                # Duplicate delivery of the enrollment: the first copy
+                # already built the context (or the transaction is past
+                # it).  Re-enrolling would redo the local work and
+                # crash _new_context, so at-least-once links make this
+                # a pure no-op.
+                return
             spec: TransactionSpec = message.payload["spec"]
             participant: ParticipantSpec = message.payload["participant"]
             self.sessions.setdefault(message.src, Session(partner=message.src))

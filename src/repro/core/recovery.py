@@ -419,13 +419,17 @@ class RecoveryMixin:
         self._send_inquiry(context)
 
     def _send_inquiry(self: "TMNode", context: CommitContext) -> None:
-        if context.parent is None or not self.context_live(context):
+        # A delegating root inquires its last agent: having handed the
+        # decision away it is in doubt toward the agent, not a parent.
+        target = context.parent if context.parent is not None \
+            else context.last_agent_child
+        if target is None or not self.context_live(context):
             return
         if context.state not in (TxnState.PREPARED,
                                  TxnState.HEURISTIC_COMMITTED,
                                  TxnState.HEURISTIC_ABORTED):
             return
-        self.send(MessageType.INQUIRE, context.parent, context.txn_id,
+        self.send(MessageType.INQUIRE, target, context.txn_id,
                   phase=Phase.RECOVERY)
         context.retry_timer = self.simulator.timer(
             self.config.retry_interval,
@@ -487,6 +491,14 @@ class RecoveryMixin:
             return
         if context.state is TxnState.PREPARED:
             self._cancel_inquiry_timer(context)
+            if context.parent is None and \
+                    context.last_agent_child is not None and \
+                    not context.rebuilt_from_log:
+                # A live delegating root resolving its in-doubt window
+                # via an inquiry to the last agent: apply the agent's
+                # decision the same way the direct notification would.
+                self._delegator_apply_outcome(context, outcome)
+                return
             context.ack_via_recovery = True
             if outcome == "commit":
                 if context.rebuilt_from_log:

@@ -218,10 +218,24 @@ class VotingMixin:
         context = self.ctx(message.txn_id)
         vote = _TYPE_VOTES[message.msg_type]
         if context is None:
-            # We have forgotten (or never knew) this transaction; the
-            # voter is in doubt and must abort per the presumption.
+            # A stale vote for a transaction we have forgotten (or
+            # never knew).  A NO voter aborted itself and needs no
+            # reply; a YES voter is in doubt and must be answered the
+            # way an inquiry would be: from the stable log if it still
+            # says anything, else by the configured presumption —
+            # abort for BASIC/PA/PN, commit for PC (Table 1's "no
+            # information" row).  Always answering ABORT here would
+            # wrongly abort a PC participant whose coordinator
+            # committed and forgot.
             if vote is not Vote.NO:
-                self.send(MessageType.ABORT, message.src, message.txn_id,
+                outcome = self._outcome_from_log(message.txn_id)
+                if outcome is None:
+                    outcome = self._presumed_outcome()
+                    self.note(message.txn_id,
+                              f"stale vote from {message.src}; no "
+                              f"information; presumes {outcome}")
+                self.send(MessageType.OUTCOME, message.src, message.txn_id,
+                          payload={"outcome": outcome},
                           phase=Phase.RECOVERY)
             return
         info = VoteInfo(vote=vote,
@@ -250,6 +264,25 @@ class VotingMixin:
         if context is None:
             context = self._new_context(message.txn_id, parent=message.src)
             context.work_done = True
+        elif context.delegated_from == message.src:
+            # Duplicate delivery of the delegation: the first copy is
+            # already driving (or drove) the decision, and re-running
+            # start_voting would re-send the outcome flow.
+            return
+        elif context.outcome is not None or context.state in (
+                TxnState.ABORTING, TxnState.ABORTED, TxnState.FORGOTTEN):
+            # The delegation crossed our unilateral abort on the wire
+            # (or arrived after we forgot the transaction).  The
+            # delegator is in doubt awaiting our decision; dropping
+            # the message would block it forever, so answer with the
+            # outcome we already hold.
+            outcome = context.outcome or "abort"
+            self.note(message.txn_id,
+                      f"stale delegation from {message.src}; answers "
+                      f"{outcome}")
+            self.send(MessageType.COMMIT if outcome == "commit"
+                      else MessageType.ABORT, message.src, message.txn_id)
+            return
         context.delegated_from = message.src
         context.delegator_read_only = (
             message.msg_type is MessageType.VOTE_READ_ONLY)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.cluster import Cluster
+from repro.errors import ConfigurationError
 from repro.net.message import Message
 
 
@@ -174,6 +175,52 @@ class FaultPlan:
         self.message_loss = MessageLossPlan(probability, msg_types, links)
         return self
 
+    def validate(self) -> "FaultPlan":
+        """Reject cross-plan conflicts a single plan's own
+        ``__post_init__`` cannot see.
+
+        Raises :class:`ConfigurationError` for negative injection
+        times, overlapping time-addressed crash windows on one node,
+        and duplicate site-addressed crashes — each of which would
+        otherwise arm as undefined behavior (a node crashed while
+        already down, or two interrupts racing for one protocol
+        action).
+        """
+        for partition in self.partitions:
+            if partition.at < 0:
+                raise ConfigurationError(
+                    f"partition {partition.a}-{partition.b} at negative "
+                    f"time {partition.at}")
+        windows: dict = {}
+        seen_sites = set()
+        for crash in self.crashes:
+            if crash.site is not None:
+                key = (crash.site.kind, crash.site.node, crash.site.seq,
+                       crash.when)
+                if key in seen_sites:
+                    raise ConfigurationError(
+                        f"duplicate site-addressed crash: "
+                        f"{crash.site.describe()} [{crash.when}] appears "
+                        f"twice")
+                seen_sites.add(key)
+                continue
+            if crash.at < 0:
+                raise ConfigurationError(
+                    f"crash of {crash.node!r} at negative time "
+                    f"{crash.at}")
+            start = crash.at
+            end = (crash.restart_at if crash.restart_at is not None
+                   else float("inf"))
+            for other_start, other_end in windows.get(crash.node, []):
+                if start < other_end and other_start < end:
+                    raise ConfigurationError(
+                        f"overlapping crash plans for {crash.node!r}: "
+                        f"[{start}, {end}) overlaps "
+                        f"[{other_start}, {other_end}) — the node would "
+                        f"be crashed while already down")
+            windows.setdefault(crash.node, []).append((start, end))
+        return self
+
 
 class FaultInjector:
     """Arms a :class:`FaultPlan` on a cluster."""
@@ -189,6 +236,7 @@ class FaultInjector:
         self._loss_installed = False
 
     def apply(self, plan: FaultPlan) -> None:
+        plan.validate()
         for crash in plan.crashes:
             if crash.site is not None:
                 self.cluster.crash_at_site(

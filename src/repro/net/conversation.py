@@ -63,10 +63,28 @@ class ConversationTracker:
     def __init__(self) -> None:
         self.sessions: Dict[Tuple[str, str], SessionState] = {}
         self.violations: List[ConversationViolation] = []
+        self._hook_list: Optional[list] = None
 
     def attach(self, cluster: Cluster) -> "ConversationTracker":
-        cluster.network.on_send.append(self.observe)
+        self._hook_list = cluster.network.on_send
+        self._hook_list.append(self.observe)
         return self
+
+    def detach(self) -> None:
+        """Stop observing; keeps the reconstructed state (idempotent).
+
+        The tracker watches *sends*, not deliveries, so a chaos
+        adversary that duplicates or reorders deliveries does not
+        perturb the session-state reconstruction — only what the
+        sender actually put on the wire counts.
+        """
+        hooks = getattr(self, "_hook_list", None)
+        if hooks is not None:
+            try:
+                hooks.remove(self.observe)
+            except ValueError:
+                pass  # hook list was externally cleared
+            self._hook_list = None
 
     def session(self, a: str, b: str) -> SessionState:
         key = _session_key(a, b)

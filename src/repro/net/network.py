@@ -7,6 +7,13 @@ Semantics chosen to match commercial WAN behaviour the paper assumes:
   senders recover via the commit protocol's own timeouts/retries, which
   is exactly the regime in which heuristic decisions arise;
 * every successful send is counted as one flow (the unit of Tables 2-4).
+
+By default links are FIFO and at-most-once.  Both guarantees are
+*opt-out*: installing an :attr:`Network.adversary` (see
+:mod:`repro.chaos`) lets a seeded chaos schedule duplicate, reorder,
+delay or hold individual deliveries.  With no adversary installed
+(``adversary is None``, the default) the send path is byte-for-byte
+the historical one, so existing runs stay bit-identical.
 """
 
 from __future__ import annotations
@@ -41,6 +48,11 @@ class Network:
         self._partitioned: Set[Tuple[str, str]] = set()
         self._last_delivery: Dict[Tuple[str, str], float] = {}
         self._drop_filter: Optional[Callable[[Message], bool]] = None
+        #: Delivery adversary (duck-typed: ``plan(message, delay)``
+        #: returning ``None`` for the default single in-order delivery,
+        #: or a list of ``(extra_delay, fifo)`` delivery plans).  None —
+        #: the default — preserves FIFO at-most-once semantics exactly.
+        self.adversary = None
         self._rng = simulator.stream("network")
         self.delivered = 0
         self.sent = 0
@@ -148,13 +160,31 @@ class Network:
             return False
 
         delay = self.latency_model.latency(message.src, message.dst, self._rng)
-        arrival = self.simulator.now + delay
-        if self.fifo:
+        plans = (self.adversary.plan(message, delay)
+                 if self.adversary is not None else None)
+        if plans is None:
+            arrival = self.simulator.now + delay
+            if self.fifo:
+                link = (message.src, message.dst)
+                arrival = max(arrival, self._last_delivery.get(link, 0.0))
+                self._last_delivery[link] = arrival
+            self.simulator.at(arrival, lambda: self._deliver(message),
+                              name=f"deliver:{message.describe()}")
+        else:
+            # An adversary rewrote this delivery: each plan is one
+            # scheduled arrival.  FIFO-respecting plans take (and
+            # advance) the link clamp; non-FIFO plans bypass it, which
+            # is how reordering and stale delivery violate the session
+            # guarantee on purpose.
             link = (message.src, message.dst)
-            arrival = max(arrival, self._last_delivery.get(link, 0.0))
-            self._last_delivery[link] = arrival
-        self.simulator.at(arrival, lambda: self._deliver(message),
-                          name=f"deliver:{message.describe()}")
+            for extra, in_order in plans:
+                arrival = self.simulator.now + delay + extra
+                if in_order and self.fifo:
+                    arrival = max(arrival, self._last_delivery.get(link, 0.0))
+                    self._last_delivery[link] = arrival
+                self.simulator.at(arrival,
+                                  lambda m=message: self._deliver(m),
+                                  name=f"deliver:{message.describe()}")
         if self.on_transmit:
             for hook in self.on_transmit:
                 hook(message)

@@ -17,6 +17,13 @@ R5  An acknowledgment is sent only after the sender logged an outcome
 R6  At quiescence, the durable outcomes of all participants agree
     (atomicity); heuristic records count as the documented exception
     and are reported as damage, not violation.
+R7  No node sends COMMIT for one transaction to the same destination
+    twice.  The normal phase sends it once; every legitimate re-send
+    (recovery retry, inquiry reply) travels as an OUTCOME message, so
+    a repeated COMMIT is the wire footprint of a non-idempotent
+    decision path (e.g. a duplicated DECISION re-triggering
+    propagation).  ABORT is exempt: a late YES vote after an abort
+    decision is answered with a second ABORT by design.
 RL  After a restart, every in-doubt transaction rebuilt from the log
     holds exclusive locks on the keys its logged updates touched — or
     the node recorded a ``relock-missing-rm`` recovery anomaly for the
@@ -66,6 +73,8 @@ class ProtocolChecker:
         self._logged_outcome: Set[Tuple[str, str]] = set()
         self._prepare_sent_to: Set[Tuple[str, str]] = set()
         self._outcomes_on_wire: Dict[str, Set[str]] = {}
+        # (src, dst, txn) COMMIT sends already seen (rule R7)
+        self._commit_sent: Set[Tuple[str, str, str]] = set()
 
     # ------------------------------------------------------------------
     def attach(self, cluster: Cluster) -> "ProtocolChecker":
@@ -151,6 +160,12 @@ class ProtocolChecker:
                 self._flag("R3", txn,
                            f"{message.src} sent COMMIT without logging "
                            f"a committed record")
+            route = (message.src, message.dst, txn)
+            if route in self._commit_sent:
+                self._flag("R7", txn,
+                           f"{message.src} sent COMMIT to {message.dst} "
+                           f"twice (decision path is not idempotent)")
+            self._commit_sent.add(route)
             self._record_wire_outcome(txn, "commit", message.src)
         elif message.msg_type is MessageType.ABORT:
             self._record_wire_outcome(txn, "abort", message.src)
