@@ -23,6 +23,7 @@ import time
 import pytest
 
 from repro.sim.events import EventQueue
+from repro.sim.gcpolicy import deferred_gc
 from repro.sim.kernel import Simulator
 
 from benchmarks._legacy_kernel import LegacyEventQueue
@@ -89,18 +90,25 @@ def best_of(fn, repeats: int = 3) -> float:
 
 
 def measure(sizes=SMOKE_N, repeats: int = 3) -> dict:
-    """All three workloads, current vs legacy, as a metrics mapping."""
-    churn = best_of(lambda: event_churn(EventQueue,
-                                        sizes["event_churn"]), repeats)
-    churn_seed = best_of(lambda: event_churn(LegacyEventQueue,
-                                             sizes["event_churn"]),
-                         repeats)
-    cancel = best_of(lambda: timer_cancel_storm(
-        EventQueue, sizes["timer_cancel_storm"]), repeats)
-    cancel_seed = best_of(lambda: timer_cancel_storm(
-        LegacyEventQueue, sizes["timer_cancel_storm"]), repeats)
-    run_until = best_of(lambda: hot_run_until(sizes["hot_run_until"]),
-                        repeats)
+    """All three workloads, current vs legacy, as a metrics mapping.
+
+    Measured under :func:`repro.sim.gcpolicy.deferred_gc` — current and
+    seed queues under the identical collection policy — so the numbers
+    compare scheduler implementations, not GC trigger timing (see the
+    gcpolicy module docstring and docs/PERFORMANCE.md).
+    """
+    with deferred_gc():
+        churn = best_of(lambda: event_churn(EventQueue,
+                                            sizes["event_churn"]), repeats)
+        churn_seed = best_of(lambda: event_churn(LegacyEventQueue,
+                                                 sizes["event_churn"]),
+                             repeats)
+        cancel = best_of(lambda: timer_cancel_storm(
+            EventQueue, sizes["timer_cancel_storm"]), repeats)
+        cancel_seed = best_of(lambda: timer_cancel_storm(
+            LegacyEventQueue, sizes["timer_cancel_storm"]), repeats)
+        run_until = best_of(lambda: hot_run_until(sizes["hot_run_until"]),
+                            repeats)
     return {
         "event_churn": {
             "eps": round(churn), "seed_eps": round(churn_seed),

@@ -41,6 +41,8 @@ from repro.analysis.formulas import basic_2pc_costs
 from repro.obs import (ConformanceAuditor, CostLedger, KernelProfiler,
                        SpanTracer)
 
+from repro.sim.gcpolicy import deferred_gc
+
 from benchmarks.bench_kernel import best_of, hot_run_until
 
 #: Transactions per measured run: full for the committed baseline,
@@ -83,15 +85,23 @@ def run_workload(n_txns: int, tracing: bool = False,
 
 
 def measure(n_txns: int = SMOKE_TXNS, repeats: int = 3) -> dict:
-    """The four configurations plus the kernel-level fast-path number."""
-    off = best_of(lambda: run_workload(n_txns), repeats)
-    tracing = best_of(lambda: run_workload(n_txns, tracing=True), repeats)
-    profiling = best_of(lambda: run_workload(n_txns, profiling=True),
+    """The four configurations plus the kernel-level fast-path number.
+
+    Measured under :func:`repro.sim.gcpolicy.deferred_gc` — the same
+    collection policy as the kernel baseline — so the ratios compare
+    instrumentation cost, not GC trigger timing.
+    """
+    with deferred_gc():
+        off = best_of(lambda: run_workload(n_txns), repeats)
+        tracing = best_of(lambda: run_workload(n_txns, tracing=True),
+                          repeats)
+        profiling = best_of(lambda: run_workload(n_txns, profiling=True),
+                            repeats)
+        auditing = best_of(lambda: run_workload(n_txns, auditing=True),
+                           repeats)
+        chaos = best_of(lambda: run_workload(n_txns, chaos_off=True),
                         repeats)
-    auditing = best_of(lambda: run_workload(n_txns, auditing=True),
-                       repeats)
-    chaos = best_of(lambda: run_workload(n_txns, chaos_off=True), repeats)
-    kernel = best_of(lambda: hot_run_until(100_000), repeats)
+        kernel = best_of(lambda: hot_run_until(100_000), repeats)
     return {
         "tracing_off": {"eps": round(off)},
         "tracing_on": {

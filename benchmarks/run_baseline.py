@@ -36,9 +36,17 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
 OBS_BASELINE_PATH = REPO_ROOT / "BENCH_obs.json"
+SCALE_BASELINE_PATH = REPO_ROOT / "BENCH_scale.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT))
+
+from repro.sim.gcpolicy import GC_POLICY  # noqa: E402
+from repro.parallel.saturate import (  # noqa: E402
+    FULL_TXNS_PER_WORKER,
+    SMOKE_TXNS_PER_WORKER,
+    run_saturation,
+)
 
 from benchmarks.bench_kernel import FULL_N, SMOKE_N, measure  # noqa: E402
 from benchmarks.bench_obs_overhead import (  # noqa: E402
@@ -71,6 +79,7 @@ def update_baseline() -> int:
         "updated": datetime.date.today().isoformat(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "gc": GC_POLICY,
         "sizes": FULL_N,
         "metrics": metrics,
     }
@@ -85,12 +94,28 @@ def update_baseline() -> int:
         "updated": datetime.date.today().isoformat(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "gc": GC_POLICY,
         "n_txns": FULL_TXNS,
         "metrics": obs_metrics,
     }
     OBS_BASELINE_PATH.write_text(json.dumps(obs_payload, indent=2) + "\n")
     print(json.dumps(obs_payload, indent=2))
     print(f"wrote {OBS_BASELINE_PATH}")
+
+    print("== measuring machine saturation (full size) ==")
+    scale_metrics = run_saturation(txns_per_worker=FULL_TXNS_PER_WORKER)
+    scale_payload = {
+        "schema": 1,
+        "updated": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "gc": GC_POLICY,
+        "metrics": scale_metrics,
+    }
+    SCALE_BASELINE_PATH.write_text(
+        json.dumps(scale_payload, indent=2) + "\n")
+    print(json.dumps(scale_payload, indent=2))
+    print(f"wrote {SCALE_BASELINE_PATH}")
 
     if metrics["event_churn"]["speedup"] < 1.5:
         print(f"WARNING: event-churn speedup "
@@ -180,6 +205,38 @@ def check_obs_baseline(tolerance: float) -> int:
     return failures
 
 
+def check_scale_baseline(tolerance: float) -> int:
+    """Gate committed txns/sec/core against BENCH_scale.json.
+
+    Smoke-sized (fewer transactions per worker than the committed
+    full-size point) but same per-core normalization; a current figure
+    more than ``tolerance`` below the committed one means whole-stack
+    commit throughput regressed.  Returns an exit status.
+    """
+    if not SCALE_BASELINE_PATH.exists():
+        print(f"no {SCALE_BASELINE_PATH.name}; run with --update first",
+              file=sys.stderr)
+        return 2
+    committed = json.loads(SCALE_BASELINE_PATH.read_text())
+    print("== measuring machine saturation (smoke size) ==")
+    current = run_saturation(txns_per_worker=SMOKE_TXNS_PER_WORKER)
+    rate = current["txns_per_sec_per_core"]
+    recorded = committed["metrics"]["txns_per_sec_per_core"]
+    floor = recorded * (1.0 - tolerance)
+    line = (f"saturation: {rate:,.0f} committed txns/s/core on "
+            f"{current['workers']} worker(s) "
+            f"[committed {recorded:,.0f}, floor {floor:,.0f}]")
+    if rate < floor:
+        print(line + "  <-- REGRESSION", file=sys.stderr)
+        print(f"whole-stack commit throughput regressed more than "
+              f"{tolerance:.0%}; if this machine is simply slower, "
+              f"re-baseline with --update", file=sys.stderr)
+        return 1
+    print(line)
+    print("saturation gate OK")
+    return 0
+
+
 def run_audit_gate() -> int:
     """Conformance audit gate: zero anomalies across the protocol x
     variant matrix, and a seeded crash-recovery run whose divergence
@@ -253,6 +310,10 @@ def main(argv=None) -> int:
                         help="also run the full fixed-seed chaos "
                              "campaign (repro-2pc chaos) as a "
                              "zero-tolerance correctness gate")
+    parser.add_argument("--scale", action="store_true",
+                        help="also gate committed txns/sec/core "
+                             "against BENCH_scale.json (the "
+                             "machine-saturation trajectory)")
     parser.add_argument("--skip-tests", action="store_true",
                         help="skip the tier-1 suite")
     parser.add_argument("--tolerance", type=float,
@@ -283,6 +344,10 @@ def main(argv=None) -> int:
             return status
     if args.update:
         return update_baseline()
+    if args.scale:
+        status = check_scale_baseline(args.tolerance)
+        if status:
+            return status
     return check_baseline(args.tolerance)
 
 

@@ -511,6 +511,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run the single schedule a failure "
                             "artifact describes instead of sweeping")
 
+    saturate = sub.add_parser(
+        "saturate", help="machine-saturation benchmark: one worker per "
+                         "core running the full commit protocol, "
+                         "reporting committed txns/sec/core (the "
+                         "BENCH_scale.json figure)")
+    saturate.add_argument("--workers", type=int, default=None,
+                          help="worker processes (default: all cores)")
+    saturate.add_argument("--txns", type=int, default=None,
+                          help="transactions per worker (default: "
+                               "full size, 2000)")
+    saturate.add_argument("--json", action="store_true",
+                          help="emit the result as JSON")
+
     sub.add_parser("report", help="regenerate every table and figure "
                                   "as one markdown report on stdout")
 
@@ -581,6 +594,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers, artifact_dir=args.artifacts)
         print(report.describe())
         return 0 if report.clean else 1
+    if args.command == "saturate":
+        import json as json_module
+        from repro.parallel.saturate import (FULL_TXNS_PER_WORKER,
+                                             describe, run_saturation)
+        result = run_saturation(
+            workers=args.workers,
+            txns_per_worker=args.txns or FULL_TXNS_PER_WORKER)
+        if args.json:
+            print(json_module.dumps(result, indent=2))
+        else:
+            print(describe(result))
+        return 0
     if args.command == "report":
         return _full_report()
     if args.command == "list-profiles":

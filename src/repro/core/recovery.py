@@ -326,12 +326,34 @@ class RecoveryMixin:
 
     def _resume_undecided_coordinator(self: "TMNode", txn_id: str,
                                       recs: List[LogRecord]) -> None:
-        """Crashed after commit-pending/collecting but before deciding:
-        the decision was never made, so the transaction aborts."""
+        """Crashed after commit-pending/collecting but before deciding.
+
+        Only the *root* coordinator may resolve this by unilateral
+        abort — it never handed a decision away.  A cascaded
+        coordinator (initiation record carries a ``coordinator``
+        field) may already have voted upward before the crash — a
+        read-only vote leaves no log record — so the real decision
+        lives at its parent and it must inquire, exactly like an
+        in-doubt subordinate.  Aborting here once durably disagreed
+        with a parent that committed (checker rule R6).
+        """
         pending = next(r for r in recs
                        if r.record_type in (LogRecordType.COMMIT_PENDING,
                                             LogRecordType.COLLECTING))
         children = list(pending.get("children", []))
+        parent = pending.get("coordinator")
+        if parent is not None:
+            context = self._new_context(txn_id)
+            context.rebuilt_from_log = True
+            context.logged_anything = True
+            context.recovered_records = list(recs)
+            context.parent = parent
+            context.active_children = children
+            self.transition(context, TxnState.PREPARED)
+            self.note(txn_id, "restart: undecided cascaded coordinator "
+                              "inquires parent")
+            self._start_inquiry(context)
+            return
         context = self._new_context(txn_id)
         context.rebuilt_from_log = True
         context.logged_anything = True
@@ -477,9 +499,11 @@ class RecoveryMixin:
         """OUTCOME received: inquiry reply or coordinator-driven push."""
         outcome = message.payload["outcome"]
         context = self.ctx(message.txn_id)
-        if context is None or context.state is TxnState.FORGOTTEN:
-            # We know nothing (or already finished): close the loop so
-            # the coordinator can forget too.
+        if context is None or context.state in (TxnState.FORGOTTEN,
+                                                TxnState.READ_ONLY_DONE):
+            # We know nothing, already finished, or dropped out with a
+            # read-only vote (outcome irrelevant to us): close the loop
+            # so the coordinator can forget too.
             self.send(MessageType.RECOVERY_ACK, message.src, message.txn_id,
                       payload={"reports": [], "outcome_pending": False},
                       phase=Phase.RECOVERY)

@@ -111,8 +111,14 @@ class VotingMixin:
             record_type = (LogRecordType.COMMIT_PENDING
                            if self.config.presumption.value == "presumed-nothing"
                            else LogRecordType.COLLECTING)
+            # The coordinator field marks this initiation record as a
+            # cascaded coordinator's: after a crash, the decision lies
+            # upstream, so restart recovery must inquire the parent
+            # rather than abort unilaterally like the root may.
             self.log_tm(context, record_type,
-                        payload={"children": downstream}, force=True,
+                        payload={"children": downstream,
+                                 "coordinator": context.parent},
+                        force=True,
                         on_durable=lambda: self._send_prepares(context))
             return
         del spec_participant

@@ -6,6 +6,9 @@ forced log writes, lock hold time.  Every substrate reports into a
 quantities the paper's Tables 2-4 report.
 """
 
+from repro.metrics.columns import (ColumnarTraceLog, CostTape,
+                                   FloatColumn, IntColumn, PairColumn,
+                                   StringInterner)
 from repro.metrics.counters import TaggedCounter
 from repro.metrics.collector import (
     CostSummary,
@@ -17,7 +20,13 @@ from repro.metrics.collector import (
 from repro.metrics.histogram import DEFAULT_BOUNDS, Histogram, geometric_bounds
 
 __all__ = [
+    "ColumnarTraceLog",
     "CostSummary",
+    "CostTape",
+    "FloatColumn",
+    "IntColumn",
+    "PairColumn",
+    "StringInterner",
     "DEFAULT_BOUNDS",
     "geometric_bounds",
     "HeuristicEvent",

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
 
+from repro.metrics.columns import FloatColumn, PairColumn
 from repro.metrics.counters import TaggedCounter
 
 
@@ -134,14 +135,17 @@ class MetricsCollector:
         self.recovery_anomalies = TaggedCounter(self.ANOMALY_DIMS)
         self.transactions: List[TransactionRecord] = []
         self.heuristics: List[HeuristicEvent] = []
-        self.lock_holds: List[float] = []
+        #: Columnar float64 buffer (reads like a list of floats) — one
+        #: sample per released lock; see repro.obs.columns.
+        self.lock_holds = FloatColumn()
         #: Deadlocks the lock tables detected; counted in
         #: repro.lrm.locks before, but invisible in any report.
         self.deadlocks: List[DeadlockRecord] = []
         #: (node, duration) per satisfied force request — the virtual
         #: time between requesting a force and its I/O completing
-        #: (group commit makes this longer than io_latency).
-        self.force_latencies: List[tuple] = []
+        #: (group commit makes this longer than io_latency).  Columnar:
+        #: node names interned, durations in a float64 buffer.
+        self.force_latencies = PairColumn()
 
     # ------------------------------------------------------------------
     # Recording

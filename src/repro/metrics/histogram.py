@@ -15,6 +15,8 @@ seconds.
 
 from __future__ import annotations
 
+from array import array
+
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -54,7 +56,9 @@ class Histogram:
             raise ValueError("bucket bounds must be a sorted, "
                              "non-empty sequence")
         self.bounds: Tuple[float, ...] = tuple(bounds)
-        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        # Typed int64 buffer: the whole ladder is one allocation, and
+        # merge/serialisation read it like the list it replaced.
+        self.counts = array("q", bytes(8 * (len(self.bounds) + 1)))
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
@@ -182,7 +186,8 @@ class Histogram:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Histogram":
         histogram = cls(bounds=data["bounds"])  # type: ignore[arg-type]
-        histogram.counts = list(data["counts"])  # type: ignore[arg-type]
+        histogram.counts = array(
+            "q", (int(c) for c in data["counts"]))  # type: ignore[arg-type]
         histogram.count = int(data["count"])  # type: ignore[arg-type]
         histogram.total = float(data["total"])  # type: ignore[arg-type]
         histogram.min = data["min"]  # type: ignore[assignment]

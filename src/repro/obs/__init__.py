@@ -27,6 +27,9 @@ from repro.obs.audit import (AuditFinding, ConformanceAuditor,
                              expected_costs, merge_audit_cells,
                              run_audit_cell, run_audit_matrix,
                              run_faulty_audit_cell)
+from repro.metrics.columns import (ColumnarTraceLog, CostTape,
+                                   FloatColumn, IntColumn, PairColumn,
+                                   StringInterner)
 from repro.obs.ledger import CostLedger, LockHold, TxnLedger
 from repro.obs.profiler import KernelProfiler
 from repro.obs.report import RunReport
@@ -39,8 +42,14 @@ from repro.obs.tracer import PHASE_OF_STATE, SpanTracer
 
 __all__ = [
     "AuditFinding",
+    "ColumnarTraceLog",
     "ConformanceAuditor",
     "CostLedger",
+    "CostTape",
+    "FloatColumn",
+    "IntColumn",
+    "PairColumn",
+    "StringInterner",
     "KernelProfiler",
     "KIND_LOG",
     "KIND_MESSAGE",

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.metrics.collector import CostSummary
+from repro.metrics.columns import CostTape
 
 #: Data (WAL) records are pre-commit work; the tables count protocol
 #: records only (same convention as MetricsCollector.DATA_RECORD_TYPES).
@@ -122,12 +123,16 @@ class CostLedger:
     ``detach()`` removes every installed hook and is idempotent.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tape: bool = False) -> None:
         self.cluster = None
         self.entries: Dict[str, TxnLedger] = {}
         self._states: Dict[Tuple[str, str], str] = {}
         self._open_holds: Dict[Tuple[str, str, str], LockHold] = {}
         self._installed: List[Tuple[object, object]] = []
+        #: Optional columnar (time, txn, node, kind) event tape —
+        #: per-event cost *timing* without per-event objects; see
+        #: :class:`repro.metrics.columns.CostTape`.
+        self.tape: Optional[CostTape] = CostTape() if tape else None
 
     # ------------------------------------------------------------------
     # Attachment
@@ -216,6 +221,9 @@ class CostLedger:
     def _on_send(self, message) -> None:
         ledger = self.entry(message.txn_id)
         self._touch(ledger)
+        if self.tape is not None:
+            self.tape.record(self._now, message.txn_id, message.src,
+                             "send")
         phase = self._phase(message.txn_id, message.src)
         key = (message.src, phase, message.msg_type.value)
         ledger.flows[key] = ledger.flows.get(key, 0) + 1
@@ -230,11 +238,17 @@ class CostLedger:
     def _on_deliver(self, message) -> None:
         ledger = self.entry(message.txn_id)
         self._touch(ledger)
+        if self.tape is not None:
+            self.tape.record(self._now, message.txn_id, message.dst,
+                             "deliver")
         ledger.delivered += 1
 
     def _on_write(self, record) -> None:
         ledger = self.entry(record.txn_id)
         self._touch(ledger)
+        if self.tape is not None:
+            self.tape.record(self._now, record.txn_id, record.node,
+                             "force" if record.forced else "write")
         rtype = record.record_type.value
         phase = self._phase(record.txn_id, record.node)
         key = (record.node, phase, rtype, record.forced)

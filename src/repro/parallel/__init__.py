@@ -25,10 +25,20 @@ from repro.parallel.pool import (
     run_specs,
     sweep,
 )
+from repro.parallel.saturate import (
+    FULL_TXNS_PER_WORKER,
+    SMOKE_TXNS_PER_WORKER,
+    run_saturation,
+    saturation_cell,
+)
 from repro.parallel.sweeps import STUDIES, run_study
 
 __all__ = [
+    "FULL_TXNS_PER_WORKER",
     "RunSpec",
+    "SMOKE_TXNS_PER_WORKER",
+    "run_saturation",
+    "saturation_cell",
     "SweepExecutionError",
     "default_workers",
     "run_specs",

@@ -1,0 +1,125 @@
+"""Machine-saturation benchmark: committed transactions/sec/core.
+
+The kernel microbenchmarks (``benchmarks/bench_kernel.py``) measure
+the scheduler in isolation; this module measures the whole stack the
+way a capacity planner would — full Presumed Abort commit protocol,
+locking, log forces, metrics — with one worker process pinned per
+core, and reports the figure that actually matters for sizing: how
+many *committed* transactions per second one core sustains.
+
+Each worker runs an independent seeded cluster (fork-isolated via
+:func:`repro.parallel.pool.run_specs`, the same engine the sweep
+studies use), so the cells share nothing and the scaling loss visible
+in ``txns_per_sec_per_core`` vs a single worker is scheduler/cache
+contention, not lock contention in the harness.
+
+The committed trajectory lives in ``BENCH_scale.json`` (written by
+``python benchmarks/run_baseline.py --update``, gated by
+``--scale``); ``repro-2pc saturate`` runs it ad hoc.  Cells run under
+:func:`repro.sim.gcpolicy.deferred_gc` and stamp the policy into the
+payload so trajectory points are comparable.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import Optional
+
+from repro.core.cluster import Cluster
+from repro.core.config import PRESUMED_ABORT
+from repro.parallel.pool import RunSpec, run_specs
+from repro.sim.gcpolicy import GC_POLICY, deferred_gc
+from repro.sim.randomness import RandomStream
+from repro.workload.generator import WorkloadGenerator, WorkloadParams
+
+#: Transactions per worker: full for the committed baseline, smoke
+#: for CI gates.
+FULL_TXNS_PER_WORKER = 2_000
+SMOKE_TXNS_PER_WORKER = 400
+
+
+def saturation_cell(seed: int, txns: int, nodes: int = 3) -> dict:
+    """One worker's run: ``txns`` transactions on a private cluster.
+
+    Returns committed count, wall seconds and simulator events so the
+    aggregate can report both protocol- and kernel-level throughput.
+    """
+    node_names = [f"n{index}" for index in range(nodes)]
+    with deferred_gc():
+        cluster = Cluster(PRESUMED_ABORT, nodes=node_names, seed=seed)
+        generator = WorkloadGenerator(
+            node_names,
+            WorkloadParams(read_only_fraction=0.25, key_space=8),
+            RandomStream(seed))
+        began = perf_counter()
+        committed = 0
+        for spec in generator.stream(txns):
+            if cluster.run_transaction(spec).committed:
+                committed += 1
+        elapsed = perf_counter() - began
+    return {
+        "seed": seed,
+        "txns": txns,
+        "committed": committed,
+        "seconds": round(elapsed, 6),
+        "events": cluster.simulator.events_processed,
+    }
+
+
+def run_saturation(workers: Optional[int] = None,
+                   txns_per_worker: int = FULL_TXNS_PER_WORKER,
+                   nodes: int = 3) -> dict:
+    """Drive every core and return the saturation metrics mapping.
+
+    ``workers`` defaults to the machine's core count.  The headline
+    figure is ``txns_per_sec_per_core``: aggregate committed
+    throughput divided by the cores actually exercised.
+    """
+    cores = os.cpu_count() or 1
+    if workers is None:
+        workers = cores
+    specs = [RunSpec(label=f"saturate-{index}", fn=saturation_cell,
+                     kwargs={"seed": 1_000 + index,
+                             "txns": txns_per_worker, "nodes": nodes})
+             for index in range(workers)]
+    began = perf_counter()
+    cells = run_specs(specs, workers=workers)
+    wall = perf_counter() - began
+    committed = sum(cell["committed"] for cell in cells)
+    effective_cores = min(workers, cores)
+    return {
+        "workers": workers,
+        "cores": cores,
+        "nodes": nodes,
+        "txns_per_worker": txns_per_worker,
+        "txns": sum(cell["txns"] for cell in cells),
+        "committed": committed,
+        "events": sum(cell["events"] for cell in cells),
+        "wall_seconds": round(wall, 6),
+        "txns_per_sec": round(committed / wall, 3),
+        "txns_per_sec_per_core": round(
+            committed / wall / effective_cores, 3),
+        "gc": GC_POLICY,
+        "cells": cells,
+    }
+
+
+def describe(result: dict) -> str:
+    """Human-readable summary of a :func:`run_saturation` result."""
+    lines = [
+        f"saturation: {result['workers']} worker(s) on "
+        f"{result['cores']} core(s), "
+        f"{result['txns_per_worker']} txns/worker, "
+        f"{result['nodes']}-node Presumed Abort, gc={result['gc']}",
+        f"  committed {result['committed']:,}/{result['txns']:,} txns "
+        f"({result['events']:,} simulator events) "
+        f"in {result['wall_seconds']:.2f}s",
+        f"  {result['txns_per_sec']:,.0f} committed txns/s aggregate, "
+        f"{result['txns_per_sec_per_core']:,.0f} txns/s/core",
+    ]
+    for cell in result["cells"]:
+        lines.append(
+            f"    seed {cell['seed']}: {cell['committed']}/"
+            f"{cell['txns']} committed in {cell['seconds']:.2f}s")
+    return "\n".join(lines)

@@ -7,7 +7,13 @@ are fully deterministic for a given seed, which lets the test suite
 assert exact message/log counts against the paper's analytic tables.
 """
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import (
+    Event,
+    EventQueue,
+    HeapEventQueue,
+    WheelEventQueue,
+)
+from repro.sim.gcpolicy import GC_POLICY, deferred_gc
 from repro.sim.kernel import (
     EventInterrupt,
     SimulationError,
@@ -20,8 +26,12 @@ __all__ = [
     "Event",
     "EventInterrupt",
     "EventQueue",
+    "GC_POLICY",
+    "HeapEventQueue",
     "RandomStream",
     "SimulationError",
     "Simulator",
     "Timer",
+    "WheelEventQueue",
+    "deferred_gc",
 ]

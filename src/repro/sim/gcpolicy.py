@@ -1,0 +1,50 @@
+"""Garbage-collection policy for measurement runs.
+
+CPython's generational collector triggers a young-generation scan every
+~700 net allocations.  A simulation holding a large live population of
+scheduler entries (a cancel storm parks 100k+ tracked objects; a
+saturation run holds whole transaction graphs) pays for those scans in
+the kernel's innermost loops — profiling shows the default thresholds
+roughly *double* push cost once the retained set passes ~100k objects,
+drowning the very effect a microbenchmark is trying to measure.
+
+:func:`deferred_gc` makes the policy explicit instead of ambient: it
+disables automatic collection for the duration of a measured workload
+and runs one full collection on exit, so cycles are still reclaimed at
+a deterministic point rather than at allocation-count-driven moments
+mid-measurement.  The benchmark harness wraps every measured workload
+in it and stamps ``"gc": "deferred"`` into the BENCH_*.json payloads so
+trajectory points are comparable across sessions.
+
+This is a *measurement* policy, not a simulation requirement — results
+are bit-identical either way; only throughput changes.
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Value recorded in benchmark baseline payloads measured under
+#: :func:`deferred_gc`, so a baseline file says how it was produced.
+GC_POLICY = "deferred"
+
+
+@contextmanager
+def deferred_gc() -> Iterator[None]:
+    """Disable automatic garbage collection, collect once on exit.
+
+    Nests safely: only the outermost context re-enables collection,
+    and collection state is restored even if the body raises.  A
+    process that had collection disabled before entry keeps it
+    disabled afterwards.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+            gc.collect()

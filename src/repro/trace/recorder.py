@@ -7,6 +7,7 @@ from typing import List, Optional
 
 from repro.core.cluster import Cluster
 from repro.log.records import LogRecord
+from repro.metrics.columns import ColumnarTraceLog
 from repro.net.message import Message
 
 
@@ -40,10 +41,23 @@ class Tracer:
 
     Attach before running the workload: hooks are installed on the
     network and on every node that exists at attach time.
+
+    ``columnar=True`` stores events in a
+    :class:`~repro.metrics.columns.ColumnarTraceLog` — interned
+    strings and typed buffers instead of one dataclass per event — and
+    materializes ``TraceEvent`` objects lazily on read.  Every query
+    (``for_txn``, ``flows``, ``transcript``, iteration, indexing)
+    behaves identically; only the storage cost changes.
     """
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
+    def __init__(self, columnar: bool = False) -> None:
+        if columnar:
+            log = ColumnarTraceLog()
+            self.events = log
+            self._emit = log.append_fields
+        else:
+            self.events = []
+            self._emit = self._emit_object
         self._cluster: Optional[Cluster] = None
         #: (hook list, installed callable) pairs, so detach() removes
         #: exactly what attach() added.
@@ -96,23 +110,26 @@ class Tracer:
     def _now(self) -> float:
         return self._cluster.simulator.now if self._cluster else 0.0
 
+    def _emit_object(self, time: float, kind: str, node: str, text: str,
+                     dst: Optional[str], forced: Optional[bool],
+                     txn_id: Optional[str]) -> None:
+        self.events.append(TraceEvent(
+            time=time, kind=kind, node=node, text=text, dst=dst,
+            forced=forced, txn_id=txn_id))
+
     def _on_flow(self, message: Message) -> None:
         flags = ",".join(sorted(k for k, v in message.flags.items() if v))
         text = message.msg_type.value + (f" [{flags}]" if flags else "")
-        self.events.append(TraceEvent(
-            time=self._now(), kind="flow", node=message.src,
-            dst=message.dst, text=text, txn_id=message.txn_id))
+        self._emit(self._now(), "flow", message.src, text,
+                   message.dst, None, message.txn_id)
 
     def _on_log(self, record: LogRecord) -> None:
-        self.events.append(TraceEvent(
-            time=self._now(), kind="log", node=record.node,
-            text=record.record_type.value, forced=record.forced,
-            txn_id=record.txn_id))
+        self._emit(self._now(), "log", record.node,
+                   record.record_type.value, None, record.forced,
+                   record.txn_id)
 
     def _on_note(self, node: str, txn_id: str, text: str) -> None:
-        self.events.append(TraceEvent(
-            time=self._now(), kind="note", node=node, text=text,
-            txn_id=txn_id))
+        self._emit(self._now(), "note", node, text, None, None, txn_id)
 
     # ------------------------------------------------------------------
     def for_txn(self, txn_id: str) -> List[TraceEvent]:

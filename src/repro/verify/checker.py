@@ -13,7 +13,10 @@ R4  No transaction sees both COMMIT and ABORT on the wire (heuristic
     *records* may conflict with the outcome — that is damage, reported
     separately — but protocol messages never do).
 R5  An acknowledgment is sent only after the sender logged an outcome
-    (committed, aborted, or a heuristic record).
+    (committed, aborted, or a heuristic record).  Exception: a
+    *recovery* ack from a participant that never voted YES — read-only
+    and no-vote participants have nothing to make durable, and their
+    recovery acks exist only to close the sender's retry loop.
 R6  At quiescence, the durable outcomes of all participants agree
     (atomicity); heuristic records count as the documented exception
     and are reported as damage, not violation.
@@ -75,6 +78,8 @@ class ProtocolChecker:
         self._outcomes_on_wire: Dict[str, Set[str]] = {}
         # (src, dst, txn) COMMIT sends already seen (rule R7)
         self._commit_sent: Set[Tuple[str, str, str]] = set()
+        # (node, txn) that voted YES — the ackers rule R5 binds
+        self._yes_voted: Set[Tuple[str, str]] = set()
 
     # ------------------------------------------------------------------
     def attach(self, cluster: Cluster) -> "ProtocolChecker":
@@ -137,6 +142,7 @@ class ProtocolChecker:
         if message.msg_type is MessageType.PREPARE:
             self._prepare_sent_to.add((message.dst, txn))
         elif message.msg_type is MessageType.VOTE_YES:
+            self._yes_voted.add(key)
             if message.flag("last_agent_delegation"):
                 # The delegation is itself a solicitation for the agent.
                 self._prepare_sent_to.add((message.dst, txn))
@@ -169,9 +175,17 @@ class ProtocolChecker:
             self._record_wire_outcome(txn, "commit", message.src)
         elif message.msg_type is MessageType.ABORT:
             self._record_wire_outcome(txn, "abort", message.src)
-        elif message.msg_type in (MessageType.ACK,
-                                  MessageType.RECOVERY_ACK):
+        elif message.msg_type is MessageType.ACK:
             if key not in self._logged_outcome:
+                self._flag("R5", txn,
+                           f"{message.src} acknowledged without logging "
+                           f"an outcome")
+        elif message.msg_type is MessageType.RECOVERY_ACK:
+            # A recovery ack binds only ackers with a durable stake —
+            # those that voted YES.  Read-only (and no-vote)
+            # participants have nothing to make durable; their
+            # recovery acks exist purely to stop the sender's retries.
+            if key in self._yes_voted and key not in self._logged_outcome:
                 self._flag("R5", txn,
                            f"{message.src} acknowledged without logging "
                            f"an outcome")

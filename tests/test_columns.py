@@ -1,0 +1,154 @@
+"""Unit tests for the columnar observability storage layer."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import PRESUMED_ABORT
+from repro.metrics.columns import (
+    ColumnarTraceLog,
+    CostTape,
+    FloatColumn,
+    IntColumn,
+    PairColumn,
+    StringInterner,
+)
+from repro.metrics.histogram import Histogram
+from repro.obs import CostLedger
+from repro.trace.recorder import TraceEvent, Tracer
+
+from tests.conftest import updating_spec
+
+
+class TestTypedColumns:
+    def test_reads_like_a_list(self):
+        column = FloatColumn([1.0, 2.5, 3.0])
+        assert len(column) == 3
+        assert list(column) == [1.0, 2.5, 3.0]
+        assert column[1] == 2.5
+        assert column[-1] == 3.0
+        assert column == [1.0, 2.5, 3.0]
+        assert column != [1.0, 2.5]
+        assert bool(column)
+        assert not bool(FloatColumn())
+
+    def test_slice_returns_column(self):
+        column = FloatColumn([float(i) for i in range(10)])
+        window = column[4:]
+        assert isinstance(window, FloatColumn)
+        assert window == [4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+
+    def test_growth_past_initial_capacity(self):
+        column = IntColumn()
+        for value in range(10_000):
+            column.append(value)
+        assert len(column) == 10_000
+        assert column[9_999] == 9_999
+        assert sum(column) == sum(range(10_000))
+
+    def test_index_errors(self):
+        column = FloatColumn([1.0])
+        with pytest.raises(IndexError):
+            column[1]
+        with pytest.raises(IndexError):
+            column[-2]
+
+    def test_to_list(self):
+        assert FloatColumn([0.5, 1.5]).to_list() == [0.5, 1.5]
+
+
+class TestStringInterner:
+    def test_roundtrip_and_none(self):
+        interner = StringInterner()
+        a = interner.intern("n0")
+        b = interner.intern("n1")
+        assert interner.intern("n0") == a != b
+        assert interner.lookup(a) == "n0"
+        assert interner.intern(None) == -1
+        assert interner.lookup(-1) is None
+        assert len(interner) == 2
+
+
+class TestPairColumn:
+    def test_reads_like_tuple_list(self):
+        pairs = PairColumn([("a", 1.0), ("b", 2.0), ("a", 3.0)])
+        assert len(pairs) == 3
+        assert list(pairs) == [("a", 1.0), ("b", 2.0), ("a", 3.0)]
+        assert pairs == [("a", 1.0), ("b", 2.0), ("a", 3.0)]
+        assert pairs[1] == ("b", 2.0)
+
+    def test_slice_shares_interner(self):
+        pairs = PairColumn([("n", float(i)) for i in range(6)])
+        window = pairs[4:]
+        assert isinstance(window, PairColumn)
+        assert window == [("n", 4.0), ("n", 5.0)]
+
+
+class TestColumnarTraceLog:
+    def _run_traced(self, columnar):
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+        tracer = Tracer(columnar=columnar).attach(cluster)
+        # explicit txn id: the default draws from a process-global
+        # counter, which would differ between the two runs compared
+        spec = updating_spec("c", ["s"])
+        spec.txn_id = "trace-diff"
+        cluster.run_transaction(spec)
+        return tracer
+
+    def test_identical_to_list_backed_tracer(self):
+        plain = self._run_traced(columnar=False)
+        columnar = self._run_traced(columnar=True)
+        assert isinstance(columnar.events, ColumnarTraceLog)
+        assert len(columnar.events) == len(plain.events)
+        assert list(columnar.events) == list(plain.events)
+
+    def test_queries_materialize_events(self):
+        tracer = self._run_traced(columnar=True)
+        event = tracer.events[0]
+        assert isinstance(event, TraceEvent)
+        assert tracer.events[-1] == list(tracer.events)[-1]
+        assert tracer.events[1:3] == list(tracer.events)[1:3]
+        flows = tracer.flows()
+        assert flows and all(e.kind == "flow" for e in flows)
+        assert tracer.transcript()  # renders without error
+
+    def test_out_of_range(self):
+        log = ColumnarTraceLog()
+        log.append(TraceEvent(time=1.0, kind="note", node="n",
+                              text="hello"))
+        assert log[0].text == "hello"
+        with pytest.raises(IndexError):
+            log[1]
+
+
+class TestCostTape:
+    def test_tape_records_cost_timeline(self):
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+        ledger = CostLedger(tape=True).attach(cluster)
+        spec = updating_spec("c", ["s"])
+        cluster.run_transaction(spec)
+        assert ledger.tape is not None and len(ledger.tape)
+        by_kind = ledger.tape.counts_by_kind()
+        assert by_kind["send"] == sum(
+            entry.commit_flows + entry.data_flows + entry.recovery_flows
+            for entry in ledger.entries.values())
+        rows = ledger.tape.for_txn(spec.txn_id)
+        assert rows
+        times = [time for time, __, __ in rows]
+        assert times == sorted(times)
+        kinds = {kind for __, __, kind in rows}
+        assert "send" in kinds and ("force" in kinds or "write" in kinds)
+
+    def test_tape_off_by_default(self):
+        assert CostLedger().tape is None
+
+
+class TestHistogramTypedCounts:
+    def test_serialisation_roundtrip(self):
+        histogram = Histogram()
+        for value in (0.01, 0.5, 2.0, 2.0, 150.0):
+            histogram.record(value)
+        clone = Histogram.from_dict(histogram.to_dict())
+        assert list(clone.counts) == list(histogram.counts)
+        assert clone.summary() == histogram.summary()
+        merged = Histogram().merge(histogram).merge(clone)
+        assert merged.count == 10

@@ -95,3 +95,37 @@ class TestSweepCli:
         out = capsys.readouterr().out
         assert out.startswith("readers,")
         assert len(out.strip().splitlines()) == 6  # header + 5 rows
+
+
+class TestSaturation:
+    def test_aggregate_metrics(self):
+        from repro.parallel import run_saturation
+        result = run_saturation(workers=1, txns_per_worker=30)
+        assert result["txns"] == 30
+        assert 0 < result["committed"] <= 30
+        assert result["txns_per_sec_per_core"] > 0
+        assert result["txns_per_sec"] >= result["txns_per_sec_per_core"]
+        assert result["gc"] == "deferred"
+        assert len(result["cells"]) == 1
+        assert result["cells"][0]["events"] > 0
+
+    def test_cells_are_deterministic_per_seed(self):
+        from repro.parallel.saturate import saturation_cell
+        first = saturation_cell(seed=7, txns=20)
+        second = saturation_cell(seed=7, txns=20)
+        assert (first["committed"], first["events"]) == \
+            (second["committed"], second["events"])
+
+    def test_cli_saturate(self, capsys):
+        assert cli_main(["saturate", "--workers", "1",
+                         "--txns", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "txns/s/core" in out
+
+    def test_cli_saturate_json(self, capsys):
+        import json
+        assert cli_main(["saturate", "--workers", "1", "--txns", "15",
+                         "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["txns"] == 15
+        assert payload["gc"] == "deferred"

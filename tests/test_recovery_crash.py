@@ -219,3 +219,88 @@ class TestRestartValidation:
         assert cluster.durable_outcome("c", spec.txn_id) == "commit"
         assert cluster.metrics.recovery_flows() > 0
         assert cluster.value("c", "key-c") == 1
+
+
+class TestCascadedCoordinatorCrash:
+    """A cascaded coordinator that crashes after forcing its initiation
+    record must resolve by inquiring its parent, never by unilateral
+    abort — it may already have voted upward (a read-only vote leaves
+    no log record), in which case the decision belongs to the parent.
+
+    Regression: hypothesis found a PN chain n0 -> n1 -> n2 where n1
+    (read-only subtree) forced commit-pending, voted read-only, crashed,
+    then aborted unilaterally at restart while n0 committed — a durable
+    R6 atomicity violation.
+    """
+
+    def _chain(self, config):
+        from repro.core.spec import ParticipantSpec, TransactionSpec
+        from repro.lrm.operations import read_op, write_op
+        from repro.verify import ProtocolChecker
+
+        participants = [
+            ParticipantSpec(node="n0"),
+            ParticipantSpec(node="n1", parent="n0"),
+            ParticipantSpec(node="n2", parent="n1"),
+        ]
+        participants[0].ops.append(write_op("k-n0", 1))
+        participants[1].ops.append(read_op("shared"))
+        participants[2].ops.append(read_op("shared"))
+        spec = TransactionSpec(participants=participants)
+        cluster = Cluster(
+            config.with_options(ack_timeout=15.0, retry_interval=15.0,
+                                vote_timeout=20.0, inquiry_timeout=20.0),
+            nodes=["n0", "n1", "n2"])
+        checker = ProtocolChecker().attach(cluster)
+        return cluster, checker, spec
+
+    @pytest.mark.parametrize("config", [PRESUMED_NOTHING, PRESUMED_COMMIT],
+                             ids=["pn", "pc"])
+    def test_read_only_cascade_crash_agrees_with_parent(self, config):
+        cluster, checker, spec = self._chain(config)
+        # n1 forces its initiation record at ~5.1, votes read-only at
+        # ~7.2; crash at 8.0 wipes the (unlogged) vote.
+        cluster.crash_at("n1", 8.0)
+        cluster.restart_at("n1", 13.0)
+        cluster.start_transaction(spec)
+        cluster.run_until(600.0)
+        checker.check_atomicity(spec.txn_id)
+        checker.assert_clean()
+        assert cluster.durable_outcome("n0", spec.txn_id) == "commit"
+        # n1 learned the outcome from its parent instead of presuming
+        # abort.  PN forces the subordinate commit record; under PC the
+        # record is deliberately unforced — absence means commit there.
+        durable = cluster.durable_outcome("n1", spec.txn_id)
+        if config is PRESUMED_NOTHING:
+            assert durable == "commit"
+        else:
+            assert durable in ("commit", None)
+        assert durable != "abort"
+
+    def test_crash_before_vote_still_aborts_with_parent(self):
+        cluster, checker, spec = self._chain(PRESUMED_NOTHING)
+        # Crash at 6.0: after the initiation force (~5.1) but before
+        # n1's own vote (~7.2).  The parent times out and aborts; the
+        # inquiry resolves n1 the same way.
+        cluster.crash_at("n1", 6.0)
+        cluster.restart_at("n1", 11.0)
+        cluster.start_transaction(spec)
+        cluster.run_until(600.0)
+        checker.check_atomicity(spec.txn_id)
+        checker.assert_clean()
+
+    def test_read_only_participant_acks_recovery_outcome(self):
+        """A dropped-out read-only participant must answer a recovery
+        OUTCOME so the sender's retry loop terminates (and that ack is
+        exempt from checker rule R5 — nothing to make durable)."""
+        cluster, checker, spec = self._chain(PRESUMED_NOTHING)
+        cluster.crash_at("n1", 8.0)
+        cluster.restart_at("n1", 13.0)
+        cluster.start_transaction(spec)
+        cluster.run_until(600.0)
+        checker.assert_clean()
+        context = cluster.node("n1").ctx(spec.txn_id)
+        assert context is None or not context.acks_pending
+        # The exchange settled in a handful of messages; an unacked
+        # outcome would have retried every 15s out to the 600s horizon.
+        assert cluster.metrics.recovery_flows() < 10

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.sim.events import EventQueue
+from repro.sim.events import (
+    Event,
+    EventQueue,
+    HeapEventQueue,
+    WheelEventQueue,
+)
 
 
 def test_pop_orders_by_time():
@@ -115,3 +120,108 @@ def test_drain_yields_in_order():
         queue.push(t, lambda: None, name=str(t))
     names = [e.name for e in queue.drain()]
     assert names == ["1.0", "2.0", "3.0"]
+
+
+# ----------------------------------------------------------------------
+# Compaction, ownership and wheel-structure regressions
+# ----------------------------------------------------------------------
+def _noop():
+    return None
+
+
+def _retained(queue):
+    """Entries a queue is still physically holding (live or dead)."""
+    if isinstance(queue, HeapEventQueue):
+        return len(queue._heap)
+    run_tail = len(queue._run) - queue._ri
+    near = len(queue._nearheap) + (0 if queue._near1 is None else 1)
+    buckets = sum(len(bucket) for bucket in queue._buckets)
+    overflow = sum(len(bucket) for bucket in queue._overflow.values())
+    return run_tail + near + buckets + overflow
+
+
+@pytest.mark.parametrize("queue_class", [WheelEventQueue, HeapEventQueue])
+def test_cancel_storm_memory_bounded(queue_class):
+    """A cancel storm must not leak: compaction keeps the retained
+    entry count O(live), however many events were ever cancelled."""
+    queue = queue_class()
+    live = []
+    for index in range(20_000):
+        event = queue.push(float(index % 4096), _noop)
+        if index % 10 == 0:
+            live.append(event)
+        else:
+            queue.cancel(event)
+    assert len(queue) == len(live)
+    # dead entries may linger only up to the compaction trigger
+    # (dead <= max(live, threshold)), never proportional to pushes.
+    assert _retained(queue) <= 2 * len(live) + 65
+    drained = list(queue.drain())
+    assert sorted(e.seq for e in drained) == \
+        sorted(e.seq for e in live)
+
+
+@pytest.mark.parametrize("queue_class", [WheelEventQueue, HeapEventQueue])
+def test_cancel_foreign_event_rejected(queue_class):
+    """cancel() must refuse an event it does not own instead of
+    silently corrupting its own live accounting."""
+    owner, other = queue_class(), queue_class()
+    event = owner.push(1.0, _noop)
+    with pytest.raises(ValueError):
+        other.cancel(event)
+    # the event is untouched: still pending, still poppable by owner
+    assert not event.cancelled
+    assert owner.pop() is event
+    assert len(other) == 0
+
+
+def test_event_has_no_sort_key():
+    """The dead sort_key helper was removed with the heap's tuple
+    ordering; entry ordering is the queues' concern now."""
+    assert not hasattr(Event, "sort_key")
+
+
+def test_wheel_overflow_years_and_inf():
+    """Far-future days (beyond one wheel revolution) park in year
+    buckets; +inf parks in the terminal year; order stays exact."""
+    queue = WheelEventQueue()
+    times = [float("inf"), 5.0e9, 1.0, 300_000.0, 2.0e6, 5.0e9 - 1.0]
+    for t in times:
+        queue.push(t, _noop)
+    assert queue._overflow          # far events really went to years
+    assert [e.time for e in queue.drain()] == sorted(times)
+
+
+def test_wheel_skips_empty_years():
+    """Promotion jumps over empty years instead of scanning them."""
+    queue = WheelEventQueue()
+    queue.push(1.0e12, _noop, name="far")
+    queue.push(0.5, _noop, name="soon")
+    assert [e.name for e in queue.drain()] == ["soon", "far"]
+
+
+def test_wheel_near_events_merge_with_promoted_run():
+    """Events pushed below the promoted horizon (the near set) must
+    interleave exactly with the current run."""
+    queue = WheelEventQueue()
+    for t in (2000.0, 2100.0, 2200.0):
+        queue.push(t, _noop, name=f"run-{t}")
+    first = queue.pop()
+    assert first.name == "run-2000.0"
+    # now the day holding 2048..3071 is promoted; push below horizon
+    queue.push(2050.0, _noop, name="near-2050")
+    queue.push(2150.0, _noop, name="near-2150")
+    queue.push(2050.0, _noop, name="near-2050b")
+    order = [e.name for e in queue.drain()]
+    assert order == ["near-2050", "near-2050b", "run-2100.0",
+                     "near-2150", "run-2200.0"]
+
+
+def test_wheel_cancelled_near_event_never_fires():
+    queue = WheelEventQueue()
+    keep = queue.push(10.0, _noop, name="keep")
+    doomed = queue.push(5.0, _noop, name="doomed")
+    assert queue.cancel(doomed)
+    assert queue.peek_time() == 10.0
+    assert queue.pop() is keep
+    assert queue.pop() is None
