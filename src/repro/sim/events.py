@@ -287,34 +287,42 @@ class WheelEventQueue:
         place* (the kernel's drain loop may hold references to these
         lists mid-run).  The current run is left alone — its dead
         entries are skipped and reclaimed by the normal drain path, so
-        post-compaction memory is O(live + one run).  ``_dead`` is a
-        reclamation heuristic, not an invariant: concurrent kernel
-        drains may leave it slightly stale, which only shifts *when*
-        the next compaction triggers.
+        post-compaction memory is O(live + one run).  ``_dead`` is
+        decremented by exactly the number of entries removed — never
+        recomputed from ``_ri`` or the run, which may be stale while a
+        kernel drain holds its position and skip count in locals (the
+        kernel's later flush then settles the balance exactly).
         """
+        removed = 0
         for bucket in self._buckets:
             if bucket:
-                bucket[:] = [e for e in bucket if e._state is self]
+                live = [e for e in bucket if e._state is self]
+                removed += len(bucket) - len(live)
+                bucket[:] = live
         overflow = self._overflow
         for year in list(overflow):
             bucket = overflow[year]
-            bucket[:] = [e for e in bucket if e._state is self]
-            if not bucket:
+            live = [e for e in bucket if e._state is self]
+            removed += len(bucket) - len(live)
+            if live:
+                bucket[:] = live
+            else:
                 del overflow[year]
         self._oy = -1
         self._ob = None
         nearheap = self._nearheap
         if nearheap:
-            nearheap[:] = [en for en in nearheap if en[3]._state is self]
+            live = [en for en in nearheap if en[3]._state is self]
+            removed += len(nearheap) - len(live)
+            nearheap[:] = live
             heapify(nearheap)
         near1 = self._near1
         if near1 is not None and near1._state is not self:
+            removed += 1
             self._near1 = heappop(nearheap)[3] if nearheap else None
         elif near1 is None and nearheap:
             self._near1 = heappop(nearheap)[3]
-        run = self._run
-        self._dead = sum(1 for i in range(self._ri, len(run))
-                         if run[i][3]._state == _CANCELLED)
+        self._dead -= removed
 
     # ------------------------------------------------------------------
     # Draining
@@ -342,6 +350,46 @@ class WheelEventQueue:
             # replaces a push-side live counter.
             buckets = self._buckets
             cursor = self._cursor
+            # As the cursor advances, an overflow year pushed long ago
+            # can come to overlap the wheel window — while later pushes
+            # for the same range land in buckets.  Merge such years into
+            # the wheel *before* scanning, or the scan would promote a
+            # later wheel day past an earlier overflow event.  At most
+            # two years can overlap (overflow days are > cursor, so a
+            # year's base lies in (cursor - 255, cursor + 256]), and a
+            # year keeping a beyond-window remainder implies its base
+            # is > cursor + 1, which rules out a second overlapping
+            # year — hence the break.
+            overflow = self._overflow
+            while overflow:
+                year = min(overflow)
+                if (year << 8) > cursor + _SLOTS:
+                    break
+                events = overflow[year]
+                keep = []
+                migrated = 0
+                for e in events:
+                    if e._state is not self:
+                        continue
+                    try:
+                        day = int(e.time * _DAY_INV)
+                    except OverflowError:
+                        day = _FAR_DAY
+                    if day - cursor <= _SLOTS:
+                        buckets[day & _SLOT_MASK].append(e)
+                        migrated += 1
+                    else:
+                        keep.append(e)
+                self._dead -= len(events) - migrated - len(keep)
+                if keep:
+                    # Same list object: the _oy/_ob push cache, if it
+                    # points here, stays valid.
+                    events[:] = keep
+                    break
+                del overflow[year]
+                if year == self._oy:
+                    self._oy = -1
+                    self._ob = None
             bucket = None
             for cursor in range(cursor + 1, cursor + _SLOTS + 1):
                 bucket = buckets[cursor & _SLOT_MASK]

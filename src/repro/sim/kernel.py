@@ -468,6 +468,10 @@ class Simulator:
                             if t > until:
                                 break
                             ri += 1
+                        if t < self.now:
+                            raise SimulationError(
+                                f"event {ev.name!r} is in the past "
+                                f"({t} < {self.now})")
                         ev._state = fired_state
                         self.now = t
                         try:
@@ -494,6 +498,10 @@ class Simulator:
                     t = ev.time
                     if t > until:
                         break
+                    if t < self.now:
+                        raise SimulationError(
+                            f"event {ev.name!r} is in the past "
+                            f"({t} < {self.now})")
                     queue._near1 = heappop(nearheap)[3] if nearheap else None
                     ev._state = fired_state
                     self.now = t

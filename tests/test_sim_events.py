@@ -217,6 +217,54 @@ def test_wheel_near_events_merge_with_promoted_run():
                      "near-2150", "run-2200.0"]
 
 
+def test_wheel_overflow_event_fires_before_later_wheel_event():
+    """Regression: an event parked in overflow whose day comes to
+    overlap the wheel window as the cursor advances must fire before a
+    later event pushed straight into a wheel bucket.  (push A at
+    t=307200 -> overflow year 1; drain to ~day 100; push B at t=358400
+    -> wheel bucket.  The buggy scan promoted B past A.)"""
+    queue = WheelEventQueue()
+    queue.push(307_200.0, _noop, name="A")      # day 300: overflow
+    queue.push(102_500.0, _noop, name="warm")   # day 100: wheel
+    assert queue.pop().name == "warm"           # cursor now at day 100
+    queue.push(358_400.0, _noop, name="B")      # day 350: wheel bucket
+    assert [e.name for e in queue.drain()] == ["A", "B"]
+
+
+def test_wheel_matches_heap_across_revolutions():
+    """Differential regression: interleaved push/cancel/pop with times
+    spanning several wheel revolutions (262144 time units each) must
+    order identically on the wheel and the heap.  Protocol workloads
+    never cross a revolution, so only this exercises the
+    overflow-into-wheel merge."""
+    import random
+    rng = random.Random(0xC0FFEE)
+    wheel, heap = WheelEventQueue(), HeapEventQueue()
+    pairs = []
+    now = 0.0
+    for __ in range(4000):
+        r = rng.random()
+        if r < 0.5:
+            t = now + rng.uniform(0.0, 800_000.0)
+            pairs.append((wheel.push(t, _noop), heap.push(t, _noop)))
+        elif r < 0.65 and pairs:
+            ew, eh = pairs[rng.randrange(len(pairs))]
+            cw = ew.fired or ew.cancelled or wheel.cancel(ew)
+            ch = eh.fired or eh.cancelled or heap.cancel(eh)
+            assert cw == ch
+        else:
+            pw, ph = wheel.pop(), heap.pop()
+            if pw is None:
+                assert ph is None
+            else:
+                assert (pw.time, pw.priority, pw.seq) == \
+                    (ph.time, ph.priority, ph.seq)
+                now = pw.time
+    tail_w = [(e.time, e.seq) for e in wheel.drain()]
+    tail_h = [(e.time, e.seq) for e in heap.drain()]
+    assert tail_w == tail_h
+
+
 def test_wheel_cancelled_near_event_never_fires():
     queue = WheelEventQueue()
     keep = queue.push(10.0, _noop, name="keep")

@@ -134,3 +134,49 @@ def test_pending_events_counter(simulator):
     assert simulator.pending_events == 2
     simulator.run()
     assert simulator.pending_events == 0
+
+
+def test_batched_run_orders_overflow_timer_before_later_wheel_timer():
+    """Regression: a timer parked in the wheel's overflow level must
+    still fire before a later timer placed directly in a wheel bucket
+    once the cursor has advanced into the overflow year's range — and
+    the batched run()/run_until() loops must observe that order rather
+    than raising a spurious "event is in the past"."""
+    sim = Simulator()
+    order = []
+    sim.at(307_200.0, lambda: order.append("A"))      # overflow year
+
+    def warm():                                       # fires at ~day 100
+        order.append("warm")
+        # ~250 days out: lands in a wheel bucket while A is still in
+        # overflow — the buggy scan promoted B first, then raised on A.
+        sim.at(358_400.0, lambda: order.append("B"))
+
+    sim.at(102_500.0, warm)
+    sim.run()
+    assert order == ["warm", "A", "B"]
+
+
+def test_mid_run_compaction_keeps_dead_count_exact():
+    """Regression: compact() triggered by a cancel storm inside an
+    event action used to recompute _dead from the queue's flushed run
+    index while the batched loop still held its skip count in locals;
+    the loop's later flush then double-subtracted, driving _dead
+    negative and deferring future compactions.  After a full drain the
+    counter must be exactly zero."""
+    sim = Simulator()
+    queue = sim._queue
+    doomed = [sim.schedule(5.0 + i * 0.01, lambda: None)
+              for i in range(60)]
+    for event in doomed:
+        queue.cancel(event)     # below the compaction floor: entries stay
+
+    def storm():
+        fresh = [sim.schedule(10.0, lambda: None) for __ in range(80)]
+        for event in fresh:
+            queue.cancel(event)     # crosses the floor mid-drain
+
+    sim.schedule(8.0, storm)
+    sim.schedule(9.0, lambda: None)
+    sim.run()
+    assert queue._dead == 0
