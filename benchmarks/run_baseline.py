@@ -53,6 +53,7 @@ from benchmarks.bench_obs_overhead import (  # noqa: E402
     FULL_TXNS,
     SMOKE_TXNS,
     measure as measure_obs,
+    measure_journal,
 )
 
 #: Below this live current-vs-seed churn ratio the kernel optimization
@@ -89,6 +90,10 @@ def update_baseline() -> int:
 
     print("== measuring observability overhead (full size) ==")
     obs_metrics = measure_obs(n_txns=FULL_TXNS, repeats=3)
+    # The journal ratio is size-sensitive (see measure_journal); its
+    # baseline is taken at the smoke size the check gate measures at.
+    obs_metrics["journal_on"] = measure_journal(n_txns=SMOKE_TXNS,
+                                                repeats=3)
     obs_payload = {
         "schema": 1,
         "updated": datetime.date.today().isoformat(),
@@ -183,7 +188,8 @@ def check_obs_baseline(tolerance: float) -> int:
     current = measure_obs(n_txns=SMOKE_TXNS, repeats=3)
 
     failures = 0
-    for name in ("tracing_on", "profiler_on", "ledger_on", "chaos_off"):
+    for name in ("tracing_on", "profiler_on", "ledger_on", "chaos_off",
+                 "journal_on"):
         if name not in current:
             continue
         ratio = current[name]["ratio"]
@@ -194,7 +200,8 @@ def check_obs_baseline(tolerance: float) -> int:
         if recorded:
             floor = recorded * (1.0 - tolerance)
             line += f" [committed ratio {recorded}, floor {floor:.3f}]"
-            if name in ("tracing_on", "ledger_on", "chaos_off") \
+            if name in ("tracing_on", "ledger_on", "chaos_off",
+                        "journal_on") \
                     and ratio < floor:
                 line += "  <-- REGRESSION"
                 failures += 1
@@ -270,6 +277,25 @@ def run_audit_gate() -> int:
     return failures
 
 
+def run_journal_gate() -> int:
+    """Journal self-check gate: record -> replay -> diff must be empty
+    for every protocol variant.  A non-empty diff means the flight
+    recorder (or the simulator underneath it) is nondeterministic — a
+    correctness regression with no tolerance."""
+    from repro.obs import run_journal_self_check
+    print("== journal record->replay->diff self-check ==")
+    failures = 0
+    for protocol, divergence in run_journal_self_check().items():
+        if divergence is None:
+            print(f"  {protocol}: journals equivalent")
+        else:
+            print(f"  {protocol}: DIVERGED", file=sys.stderr)
+            print("    " + divergence.describe().replace("\n", "\n    "),
+                  file=sys.stderr)
+            failures += 1
+    return failures
+
+
 def run_torture_matrix() -> int:
     """Full crash-point torture matrix: every config x variant cell,
     every recorded site, both pre and post sides.  Any failing site is
@@ -314,6 +340,11 @@ def main(argv=None) -> int:
                         help="also gate committed txns/sec/core "
                              "against BENCH_scale.json (the "
                              "machine-saturation trajectory)")
+    parser.add_argument("--journal", action="store_true",
+                        help="also run the flight-recorder journal "
+                             "self-check (record -> replay -> diff "
+                             "empty across BASIC/PA/PN/PC) as a "
+                             "zero-tolerance correctness gate")
     parser.add_argument("--skip-tests", action="store_true",
                         help="skip the tier-1 suite")
     parser.add_argument("--tolerance", type=float,
@@ -340,6 +371,12 @@ def main(argv=None) -> int:
         status = run_chaos_gate()
         if status:
             print("chaos campaign found failing schedules",
+                  file=sys.stderr)
+            return status
+    if args.journal:
+        status = run_journal_gate()
+        if status:
+            print("journal self-check found divergent replays",
                   file=sys.stderr)
             return status
     if args.update:

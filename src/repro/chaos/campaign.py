@@ -268,11 +268,18 @@ def _as_schedule(schedule: ScheduleLike) -> ChaosSchedule:
 
 
 def run_chaos_schedule(config_name: str, variant: str, run_seed: int,
-                       schedule: ScheduleLike,
-                       index: int = 0) -> ChaosRun:
-    """Run one cell workload under one chaos schedule and judge it."""
+                       schedule: ScheduleLike, index: int = 0,
+                       instrument=None) -> ChaosRun:
+    """Run one cell workload under one chaos schedule and judge it.
+
+    ``instrument``, when given, is called with the freshly built
+    cluster before the run starts — the hook the flight-recorder
+    journal uses to record artifact replays for divergence diffing.
+    """
     plan = _as_schedule(schedule)
     cluster, spec = _build_chaos_cell(config_name, variant, run_seed)
+    if instrument is not None:
+        instrument(cluster)
     engine = ChaosEngine(plan).install(cluster)
     checker = ProtocolChecker().attach(cluster)
     outcome, quiesced = _start_and_run(cluster, spec)
@@ -414,7 +421,8 @@ def shrink_schedule(config_name: str, variant: str, run_seed: int,
     return current
 
 
-def replay_chaos_artifact(data: Dict) -> ChaosRun:
+def replay_chaos_artifact(data: Dict, instrument=None) -> ChaosRun:
     """Re-run the exact schedule a failure artifact describes."""
     return run_chaos_schedule(data["config"], data["variant"],
-                              int(data["seed"]), data["schedule"])
+                              int(data["seed"]), data["schedule"],
+                              instrument=instrument)

@@ -13,7 +13,11 @@ Usage::
                     [--faults] [--json]
     repro-2pc torture [--configs ...] [--variants ...] [--seed S]
                       [--workers N] [--max-sites N] [--artifacts DIR]
-                      [--replay FILE]
+                      [--replay FILE] [--json]
+    repro-2pc journal NAME [--out FILE] [--columnar] [--watchdog]
+                     [--prom] [--seed S] [--txns K]
+    repro-2pc diff A.jsonl B.jsonl [--ignore-time] [--normalize-txns]
+                  [--json]
     repro-2pc list-profiles
 """
 
@@ -221,12 +225,17 @@ def _default_trace_cluster():
 
 
 def _run_trace(name: str, txn: Optional[str], fmt: str) -> int:
-    """Run a workload under the span tracer and export the result."""
+    """Run a workload under the span tracer and export the result.
+
+    A protocol checker rides along; violations print to stderr and
+    make the exit status nonzero, so CI can gate on traced runs.
+    """
     import json as _json
 
     from repro.obs import (SpanTracer, render_span_tree, spans_to_chrome,
                            spans_to_jsonl)
     from repro.trace.recorder import Tracer
+    from repro.verify.checker import ProtocolChecker
 
     if name == "default":
         cluster, specs = _default_trace_cluster()
@@ -240,6 +249,7 @@ def _run_trace(name: str, txn: Optional[str], fmt: str) -> int:
         return 2
 
     span_tracer = SpanTracer().attach(cluster)
+    checker = ProtocolChecker().attach(cluster)
     transcript_tracer = Tracer().attach(cluster) \
         if fmt == "transcript" else None
     timeseries = None
@@ -251,13 +261,18 @@ def _run_trace(name: str, txn: Optional[str], fmt: str) -> int:
     cluster.finalize_implied_acks()
     span_tracer.finish()
 
+    failed = 0
+    for violation in checker.violations:
+        print(f"protocol violation: {violation}", file=sys.stderr)
+        failed = 1
+
     if fmt == "transcript":
         print(transcript_tracer.transcript(txn))
-        return 0
+        return failed
     if fmt == "dashboard":
         print(timeseries.render_dashboard())
         timeseries.detach()
-        return 0
+        return failed
 
     spans = span_tracer.spans_for(txn) if txn else span_tracer.spans
     if txn and not spans:
@@ -270,7 +285,118 @@ def _run_trace(name: str, txn: Optional[str], fmt: str) -> int:
         print(_json.dumps(spans_to_chrome(spans)))
     else:  # json (JSONL, one span per line)
         print(spans_to_jsonl(spans))
-    return 0
+    return failed
+
+
+#: Protocol names the journal command accepts in addition to workload
+#: profiles (generated seeded workloads, matching the self-check gate).
+JOURNAL_PROTOCOLS = ("basic", "presumed_abort", "presumed_nothing",
+                     "presumed_commit")
+
+
+def _run_journal(name: str, out: Optional[str], columnar: bool,
+                 watchdog: bool, prom: bool, seed: int, txns: int) -> int:
+    """Record a workload as a flight-recorder journal (JSONL).
+
+    The journal goes to stdout (or ``--out FILE``); watchdog findings
+    and the Prometheus snapshot go to stderr when the journal owns
+    stdout, so ``repro-2pc journal X > a.jsonl`` stays clean.
+    Exit status is 1 when ``--watchdog`` finds anything.
+    """
+    from repro.obs import (JournalRecorder, Watchdog, journal_to_jsonl,
+                           normalize_txn_ids, prometheus_text)
+
+    if name in JOURNAL_PROTOCOLS:
+        from repro.core.config import (BASIC_2PC, PRESUMED_ABORT,
+                                       PRESUMED_COMMIT, PRESUMED_NOTHING)
+        from repro.obs import record_workload_journal
+        config = {"basic": BASIC_2PC, "presumed_abort": PRESUMED_ABORT,
+                  "presumed_nothing": PRESUMED_NOTHING,
+                  "presumed_commit": PRESUMED_COMMIT}[name]
+        entries = record_workload_journal(config, seed=seed, txns=txns,
+                                          columnar=columnar)
+    else:
+        if name == "default":
+            cluster, specs = _default_trace_cluster()
+        elif name in PROFILES:
+            profile = PROFILES[name]()
+            cluster = profile.build_cluster()
+            specs = profile.specs()
+        else:
+            print(f"unknown workload {name!r}; try: default, "
+                  f"{', '.join(JOURNAL_PROTOCOLS)}, "
+                  f"{', '.join(sorted(PROFILES))}", file=sys.stderr)
+            return 2
+        recorder = JournalRecorder(columnar=columnar).attach(cluster)
+        for spec in specs:
+            cluster.run_transaction(spec)
+        cluster.finalize_implied_acks()
+        recorder.detach()
+        entries = normalize_txn_ids(recorder.entries())
+
+    text = journal_to_jsonl(entries, meta={"workload": name, "seed": seed,
+                                           "txns": txns})
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+        side = sys.stdout
+        print(f"{len(entries)} journal entries -> {out}")
+    else:
+        print(text)
+        side = sys.stderr
+
+    failed = 0
+    findings = []
+    if watchdog:
+        findings = Watchdog().scan(entries)
+        for finding in findings:
+            print(f"watchdog {finding.describe()}", file=side)
+            failed = 1
+        if not findings:
+            print("watchdog: no findings", file=side)
+    if prom:
+        print(prometheus_text(entries, findings), file=side, end="")
+    return failed
+
+
+def _run_diff(path_a: str, path_b: str, ignore_time: bool,
+              normalize: bool, as_json: bool) -> int:
+    """Diff two journal files; localize the first divergent event.
+
+    Exit status: 0 equivalent, 1 divergent, 2 unreadable input.
+    """
+    import json as _json
+
+    from repro.obs import (diff_journals, journal_from_jsonl,
+                           normalize_txn_ids)
+
+    journals = []
+    for path in (path_a, path_b):
+        try:
+            with open(path) as handle:
+                __, entries = journal_from_jsonl(handle.read())
+        except (OSError, ValueError) as error:
+            print(f"cannot load journal {path}: {error}", file=sys.stderr)
+            return 2
+        if normalize:
+            entries = normalize_txn_ids(entries)
+        journals.append(entries)
+
+    divergence = diff_journals(journals[0], journals[1],
+                               ignore_time=ignore_time)
+    if as_json:
+        print(_json.dumps({
+            "equivalent": divergence is None,
+            "entries": [len(j) for j in journals],
+            "divergence": divergence.to_dict() if divergence else None,
+        }, indent=2, sort_keys=True))
+    elif divergence is None:
+        print(f"journals equivalent ({len(journals[0])} vs "
+              f"{len(journals[1])} entries, modulo permitted "
+              "reorderings)")
+    else:
+        print(divergence.describe())
+    return 0 if divergence is None else 1
 
 
 def _run_audit(workers: Optional[int], txns: int, zero_tolerance: bool,
@@ -483,6 +609,9 @@ def build_parser() -> argparse.ArgumentParser:
     torture.add_argument("--replay", default=None, metavar="FILE",
                          help="re-run the single site a failure "
                               "artifact describes instead of sweeping")
+    torture.add_argument("--json", action="store_true",
+                         help="emit the report (or replay result) "
+                              "as JSON")
 
     from repro.chaos import CHAOS_VARIANTS
     chaos = sub.add_parser(
@@ -510,6 +639,57 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--replay", default=None, metavar="FILE",
                        help="re-run the single schedule a failure "
                             "artifact describes instead of sweeping")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the report (or replay result) "
+                            "as JSON")
+
+    journal = sub.add_parser(
+        "journal", help="record a workload as a flight-recorder "
+                        "journal: an append-only, causally-linked "
+                        "JSONL of every flow, log write, force and "
+                        "lock event (see docs/OBSERVABILITY.md)")
+    journal.add_argument("name",
+                         help="'default', a protocol name "
+                              f"({', '.join(JOURNAL_PROTOCOLS)}: "
+                              "seeded generated workload), or a "
+                              "workload profile name")
+    journal.add_argument("--out", default=None, metavar="FILE",
+                         help="write the journal here instead of "
+                              "stdout")
+    journal.add_argument("--columnar", action="store_true",
+                         help="record into array-backed columnar "
+                              "storage (identical output)")
+    journal.add_argument("--watchdog", action="store_true",
+                         help="run the watchdog detectors over the "
+                              "journal; nonzero exit on findings")
+    journal.add_argument("--prom", action="store_true",
+                         help="also emit a Prometheus-style text "
+                              "exposition snapshot")
+    journal.add_argument("--seed", type=int, default=11,
+                         help="workload seed for protocol-name "
+                              "journals (default 11)")
+    journal.add_argument("--txns", type=int, default=8,
+                         help="transactions for protocol-name "
+                              "journals (default 8)")
+
+    diff = sub.add_parser(
+        "diff", help="compare two journals modulo permitted "
+                     "reorderings and localize the first "
+                     "causally-divergent event")
+    diff.add_argument("a", metavar="A.jsonl",
+                      help="expected (reference) journal")
+    diff.add_argument("b", metavar="B.jsonl",
+                      help="observed journal")
+    diff.add_argument("--ignore-time", action="store_true",
+                      help="compare event structure only, not "
+                           "timestamps (journals from different "
+                           "clocks)")
+    diff.add_argument("--normalize-txns", action="store_true",
+                      help="rename txn ids to first-appearance "
+                           "ordinals in both journals before "
+                           "comparing")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the verdict as JSON")
 
     saturate = sub.add_parser(
         "saturate", help="machine-saturation benchmark: one worker per "
@@ -562,28 +742,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(report.describe())
         return 0 if report.clean else 1
     if args.command == "torture":
+        import json as json_module
         if args.replay is not None:
             from repro.torture import load_artifact, replay_artifact
             run = replay_artifact(load_artifact(args.replay))
-            print(run.describe())
-            for violation in run.violations:
-                print(f"  {violation}")
+            if args.json:
+                print(json_module.dumps(run.to_dict(), indent=2,
+                                        sort_keys=True))
+            else:
+                print(run.describe())
+                for violation in run.violations:
+                    print(f"  {violation}")
             return 0 if run.ok else 1
         from repro.torture import torture_sweep
         report = torture_sweep(configs=args.configs, variants=args.variants,
                                seed=args.seed, workers=args.workers,
                                max_sites=args.max_sites,
                                artifact_dir=args.artifacts)
-        print(report.describe())
+        if args.json:
+            print(json_module.dumps(report.to_dict(), indent=2,
+                                    sort_keys=True))
+        else:
+            print(report.describe())
         return 0 if report.clean else 1
     if args.command == "chaos":
+        import json as json_module
         if args.replay is not None:
             from repro.chaos import load_chaos_artifact, \
                 replay_chaos_artifact
             run = replay_chaos_artifact(load_chaos_artifact(args.replay))
-            print(run.describe())
-            for violation in run.violations:
-                print(f"  {violation}")
+            if args.json:
+                print(json_module.dumps(run.to_dict(), indent=2,
+                                        sort_keys=True))
+            else:
+                print(run.describe())
+                for violation in run.violations:
+                    print(f"  {violation}")
             return 0 if run.ok else 1
         from repro.chaos import run_chaos_campaign
         from repro.chaos.campaign import DEFAULT_SCHEDULES
@@ -592,8 +786,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             schedules=(args.schedules if args.schedules is not None
                        else DEFAULT_SCHEDULES),
             workers=args.workers, artifact_dir=args.artifacts)
-        print(report.describe())
+        if args.json:
+            print(json_module.dumps(report.to_dict(), indent=2,
+                                    sort_keys=True))
+        else:
+            print(report.describe())
         return 0 if report.clean else 1
+    if args.command == "journal":
+        return _run_journal(args.name, args.out, args.columnar,
+                            args.watchdog, args.prom, args.seed,
+                            args.txns)
+    if args.command == "diff":
+        return _run_diff(args.a, args.b, args.ignore_time,
+                         args.normalize_txns, args.json)
     if args.command == "saturate":
         import json as json_module
         from repro.parallel.saturate import (FULL_TXNS_PER_WORKER,

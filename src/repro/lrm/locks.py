@@ -81,6 +81,11 @@ class LockManager:
         #: Trace hooks invoked with (txn_id, key) as strict-2PL release
         #: drops each held lock.
         self.on_release: List[Callable[[str, str], None]] = []
+        #: Trace hooks invoked with (txn_id, key, mode) when a request
+        #: cannot be granted immediately and parks in the wait queue
+        #: (after the deadlock check — a victim fires nothing).  The
+        #: flight-recorder journal times request->grant from here.
+        self.on_wait: List[Callable[[str, str, LockMode], None]] = []
 
     # ------------------------------------------------------------------
     # Acquisition
@@ -134,6 +139,9 @@ class LockManager:
                 self.metrics.record_deadlock(request.txn_id, cycle)
             raise DeadlockError(request.txn_id, cycle)
         lock.waiting.append(request)
+        if self.on_wait:
+            for hook in self.on_wait:
+                hook(request.txn_id, request.key, request.mode)
 
     def _grant(self, lock: _KeyLock, request: LockRequest) -> None:
         request.granted = True
@@ -150,8 +158,15 @@ class LockManager:
     # Release
     # ------------------------------------------------------------------
     def release_all(self, txn_id: str) -> None:
-        """Strict 2PL release: drop every lock the transaction holds."""
-        keys = list(self._held_by_txn.pop(txn_id, set()))
+        """Strict 2PL release: drop every lock the transaction holds.
+
+        Keys release in sorted order: the held-key collection is a
+        set, and letting its hash-randomized iteration order pick the
+        release (and therefore waiter wake-up) sequence makes the
+        schedule differ *between processes* — caught by the journal
+        differ comparing two CLI invocations of the same workload.
+        """
+        keys = sorted(self._held_by_txn.pop(txn_id, set()))
         acquired_at = self._first_acquire_at.pop(txn_id, None)
         if acquired_at is not None and self.metrics is not None:
             self.metrics.record_lock_hold(self.simulator.now - acquired_at)

@@ -21,6 +21,13 @@ observability work.
 * :class:`RunReport` — latency/lock/log-force percentile summaries.
 * :class:`KernelProfiler` — opt-in wall-clock profile of simulator
   event handlers, grouped by event type.
+* :class:`JournalRecorder` — schema-versioned flight recorder: an
+  append-only, causally-linked journal of every flow, log write,
+  force, and lock event; :class:`CausalGraph` rebuilds the
+  happens-before DAG, :func:`diff_journals` localizes the first
+  causally-divergent event between two journals, and
+  :class:`Watchdog` runs in-doubt/lock-wait/orphan/unacked-force
+  detectors over a journal or live hooks.
 """
 
 from repro.obs.audit import (AuditFinding, ConformanceAuditor,
@@ -30,8 +37,17 @@ from repro.obs.audit import (AuditFinding, ConformanceAuditor,
 from repro.metrics.columns import (ColumnarTraceLog, CostTape,
                                    FloatColumn, IntColumn, PairColumn,
                                    StringInterner)
+from repro.obs.causal import CausalGraph, build_causal_graph
+from repro.obs.diff import (Divergence, diff_journals,
+                            record_workload_journal,
+                            run_journal_self_check)
+from repro.obs.journal import (JournalEntry, JournalRecorder,
+                               JournalTape, journal_from_jsonl,
+                               journal_to_jsonl, normalize_txn_ids)
 from repro.obs.ledger import CostLedger, LockHold, TxnLedger
 from repro.obs.profiler import KernelProfiler
+from repro.obs.watchdog import (Watchdog, WatchdogFinding,
+                                prometheus_text)
 from repro.obs.report import RunReport
 from repro.obs.span import (KIND_LOG, KIND_MESSAGE, KIND_PHASE, KIND_TXN,
                             Span, build_tree, render_span_tree,
@@ -42,12 +58,17 @@ from repro.obs.tracer import PHASE_OF_STATE, SpanTracer
 
 __all__ = [
     "AuditFinding",
+    "CausalGraph",
     "ColumnarTraceLog",
     "ConformanceAuditor",
     "CostLedger",
     "CostTape",
+    "Divergence",
     "FloatColumn",
     "IntColumn",
+    "JournalEntry",
+    "JournalRecorder",
+    "JournalTape",
     "PairColumn",
     "StringInterner",
     "KernelProfiler",
@@ -62,13 +83,23 @@ __all__ = [
     "Span",
     "SpanTracer",
     "TxnLedger",
+    "Watchdog",
+    "WatchdogFinding",
+    "build_causal_graph",
     "build_tree",
+    "diff_journals",
     "expected_costs",
+    "journal_from_jsonl",
+    "journal_to_jsonl",
     "merge_audit_cells",
+    "normalize_txn_ids",
+    "prometheus_text",
+    "record_workload_journal",
     "render_span_tree",
     "run_audit_cell",
     "run_audit_matrix",
     "run_faulty_audit_cell",
+    "run_journal_self_check",
     "sparkline",
     "spans_from_jsonl",
     "spans_to_chrome",

@@ -1,0 +1,154 @@
+"""Causal (happens-before) DAG reconstruction from a journal.
+
+A :class:`~repro.obs.journal.JournalEntry`'s ``parents`` list encodes
+per-site program order plus the cross-site edges the recorder matched
+(send->deliver, write->harden, wait->grant->release, parent/child txn
+enrollment).  This module turns a flat journal back into that graph so
+callers can ask the questions divergence analysis needs: what happened
+before what, which chain of events bounded a transaction's latency,
+and which events belong to one transaction's causal cone.
+
+Everything here is deterministic: :meth:`CausalGraph.linearize` is a
+Kahn topological sort with a ``(t, eid)`` tie-break, so the same
+journal always yields the same ordering — a property the differ and
+the journal self-check rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.obs.journal import JournalEntry
+
+
+class CausalGraph:
+    """Happens-before DAG over a journal's entries."""
+
+    def __init__(self, entries: Sequence[JournalEntry]) -> None:
+        self.by_eid: Dict[int, JournalEntry] = {e.eid: e for e in entries}
+        self.children: Dict[int, List[int]] = {e.eid: [] for e in entries}
+        for entry in entries:
+            for parent in entry.parents:
+                if parent in self.children:
+                    self.children[parent].append(entry.eid)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.by_eid)
+
+    def entry(self, eid: int) -> JournalEntry:
+        return self.by_eid[eid]
+
+    def parents_of(self, eid: int) -> List[int]:
+        return [p for p in self.by_eid[eid].parents if p in self.by_eid]
+
+    def roots(self) -> List[int]:
+        """Entries with no (known) parents, in eid order."""
+        return sorted(eid for eid, entry in self.by_eid.items()
+                      if not any(p in self.by_eid for p in entry.parents))
+
+    # ------------------------------------------------------------------
+    def ancestors(self, eid: int) -> Set[int]:
+        """Every entry that happens-before ``eid`` (excludes itself)."""
+        seen: Set[int] = set()
+        stack = list(self.parents_of(eid))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(p for p in self.parents_of(current)
+                         if p not in seen)
+        return seen
+
+    def happens_before(self, a: int, b: int) -> bool:
+        """True iff entry ``a`` is in entry ``b``'s causal past."""
+        return a in self.ancestors(b)
+
+    # ------------------------------------------------------------------
+    def linearize(self) -> List[JournalEntry]:
+        """Deterministic topological order: Kahn keyed by ``(t, eid)``.
+
+        Any valid journal linearizes completely; a cyclic ``parents``
+        encoding (corrupt journal) raises :class:`ValueError`.
+        """
+        indegree: Dict[int, int] = {
+            eid: len(self.parents_of(eid)) for eid in self.by_eid}
+        ready = [( self.by_eid[eid].t, eid)
+                 for eid, degree in indegree.items() if degree == 0]
+        heapq.heapify(ready)
+        out: List[JournalEntry] = []
+        while ready:
+            _, eid = heapq.heappop(ready)
+            out.append(self.by_eid[eid])
+            for child in self.children[eid]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    heapq.heappush(ready, (self.by_eid[child].t, child))
+        if len(out) != len(self.by_eid):
+            raise ValueError("journal causal graph contains a cycle "
+                             f"({len(self.by_eid) - len(out)} entries "
+                             "unreachable)")
+        return out
+
+    def critical_path(self, eid: Optional[int] = None
+                      ) -> List[JournalEntry]:
+        """Longest happens-before chain ending at ``eid``.
+
+        With ``eid=None`` the overall longest chain in the graph —
+        the run's causal critical path.  Ties break toward smaller
+        eids, keeping the result deterministic.
+        """
+        best_len: Dict[int, int] = {}
+        best_parent: Dict[int, Optional[int]] = {}
+        for entry in self.linearize():
+            parents = self.parents_of(entry.eid)
+            if parents:
+                parent = min(parents,
+                             key=lambda p: (-best_len.get(p, 0), p))
+                best_len[entry.eid] = best_len.get(parent, 0) + 1
+                best_parent[entry.eid] = parent
+            else:
+                best_len[entry.eid] = 1
+                best_parent[entry.eid] = None
+        if not best_len:
+            return []
+        if eid is None:
+            eid = min(best_len, key=lambda e: (-best_len[e], e))
+        chain: List[JournalEntry] = []
+        cursor: Optional[int] = eid
+        while cursor is not None:
+            chain.append(self.by_eid[cursor])
+            cursor = best_parent.get(cursor)
+        chain.reverse()
+        return chain
+
+    # ------------------------------------------------------------------
+    def txn_cone(self, txn_id: str) -> "CausalGraph":
+        """Subgraph of one transaction's entries plus their causal past.
+
+        This is the per-txn happens-before graph: everything the
+        transaction did, and everything those actions depended on
+        (e.g. the lock release of a conflicting transaction that a
+        grant waited behind).
+        """
+        seed = [e.eid for e in self.by_eid.values() if e.txn == txn_id]
+        keep: Set[int] = set(seed)
+        for eid in seed:
+            keep |= self.ancestors(eid)
+        return CausalGraph([self.by_eid[eid] for eid in sorted(keep)])
+
+    def txn_ids(self) -> List[str]:
+        """Distinct transaction ids, by first journal appearance."""
+        seen: List[str] = []
+        for eid in sorted(self.by_eid):
+            txn = self.by_eid[eid].txn
+            if txn is not None and txn not in seen:
+                seen.append(txn)
+        return seen
+
+
+def build_causal_graph(entries: Iterable[JournalEntry]) -> CausalGraph:
+    """Convenience wrapper: journal entries -> :class:`CausalGraph`."""
+    return CausalGraph(list(entries))

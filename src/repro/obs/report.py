@@ -35,13 +35,14 @@ class RunReport:
     # ------------------------------------------------------------------
     @classmethod
     def from_run(cls, cluster, tracer=None, ledger=None,
-                 auditor=None) -> "RunReport":
+                 auditor=None, watchdog=None) -> "RunReport":
         """Build from a finished cluster.
 
-        ``tracer``, ``ledger`` and ``auditor`` (a
+        ``tracer``, ``ledger``, ``auditor`` and ``watchdog`` (a
         :class:`~repro.obs.tracer.SpanTracer`,
-        :class:`~repro.obs.ledger.CostLedger` and
-        :class:`~repro.obs.audit.ConformanceAuditor`) each contribute
+        :class:`~repro.obs.ledger.CostLedger`,
+        :class:`~repro.obs.audit.ConformanceAuditor` and
+        :class:`~repro.obs.watchdog.Watchdog`) each contribute
         their sections when supplied.
         """
         report = cls()
@@ -111,6 +112,12 @@ class RunReport:
                 report.notes.append(
                     f"audit anomaly: {finding.txn_id} observed "
                     f"{finding.observed} expected {finding.expected}")
+
+        if watchdog is not None:
+            findings = watchdog.findings()
+            report.counters["watchdog findings"] = len(findings)
+            for finding in findings:
+                report.notes.append(f"watchdog {finding.describe()}")
         return report
 
     def add_distribution(self, name: str, histogram: Histogram) -> None:

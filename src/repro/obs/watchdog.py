@@ -1,0 +1,275 @@
+"""Watchdog detectors over a journal (or live hooks) + Prometheus text.
+
+The journal records everything the cost model counts; the watchdogs
+ask the operational questions a deployment twin will need answered
+continuously:
+
+* **in-doubt residency** — how long did a (txn, node) pair sit in the
+  PREPARED window where a coordinator failure blocks it (paper §2's
+  central operational hazard)?  Windows longer than the threshold, or
+  still open when the journal ends, are findings.
+* **lock-wait burn** — lock requests that waited longer than the
+  threshold between parking (``wait``) and ``grant``, or that were
+  never granted at all.
+* **orphaned spans** — messages sent but never delivered, and
+  transactions whose last recorded state at some node is not settled
+  when the journal ends.
+* **unacked forces** — forced log writes whose ``harden`` (the I/O
+  completion ack) never arrived.
+
+:meth:`Watchdog.scan` runs over any entry sequence;
+:meth:`Watchdog.attach` runs the same detectors live by carrying an
+internal :class:`~repro.obs.journal.JournalRecorder`.  Findings feed
+:class:`~repro.obs.report.RunReport` and
+:func:`prometheus_text` — a text-exposition snapshot in the format the
+future TCP transport will serve on a metrics port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.journal import (SETTLED_STATES, JournalEntry,
+                               JournalRecorder)
+
+#: Detector names, in report order (all four always appear in the
+#: Prometheus exposition, zero-valued when quiet).
+DETECTORS = ("in_doubt", "lock_wait", "orphan", "unacked_force")
+
+#: PREPARED is the in-doubt window (repro.core.states.TxnState).
+_IN_DOUBT_STATE = "prepared"
+
+
+class WatchdogFinding:
+    """One detector firing: where, when, and by how much."""
+
+    __slots__ = ("detector", "txn", "node", "at", "message", "value")
+
+    def __init__(self, detector: str, txn: Optional[str], node: str,
+                 at: float, message: str,
+                 value: Optional[float] = None) -> None:
+        self.detector = detector
+        self.txn = txn
+        self.node = node
+        self.at = at
+        self.message = message
+        self.value = value
+
+    def describe(self) -> str:
+        where = f"txn {self.txn} @ {self.node}" if self.txn else self.node
+        return f"[{self.detector}] {where}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"detector": self.detector, "txn": self.txn,
+                "node": self.node, "at": self.at,
+                "message": self.message, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"<WatchdogFinding {self.describe()}>"
+
+
+class Watchdog:
+    """Threshold-configured detectors over journal entries.
+
+    ``in_doubt_threshold`` / ``lock_wait_threshold`` are sim-time
+    durations; windows at least that long fire.  Windows still open
+    when the journal ends always fire — an unresolved in-doubt txn or
+    an ungranted lock is a finding at any duration.
+    """
+
+    def __init__(self, in_doubt_threshold: float = 50.0,
+                 lock_wait_threshold: float = 50.0) -> None:
+        self.in_doubt_threshold = in_doubt_threshold
+        self.lock_wait_threshold = lock_wait_threshold
+        self._recorder: Optional[JournalRecorder] = None
+
+    # ------------------------------------------------------------------
+    # Live mode
+    # ------------------------------------------------------------------
+    def attach(self, cluster) -> "Watchdog":
+        """Record live through an internal journal recorder."""
+        if self._recorder is None:
+            self._recorder = JournalRecorder()
+        self._recorder.attach(cluster)
+        return self
+
+    def detach(self) -> None:
+        if self._recorder is not None:
+            self._recorder.detach()
+
+    @property
+    def attached(self) -> bool:
+        return self._recorder is not None and self._recorder.attached
+
+    def findings(self) -> List[WatchdogFinding]:
+        """Scan the live recorder's journal so far."""
+        if self._recorder is None:
+            return []
+        return self.scan(self._recorder.entries())
+
+    def entries(self) -> List[JournalEntry]:
+        return self._recorder.entries() if self._recorder else []
+
+    # ------------------------------------------------------------------
+    # Detectors
+    # ------------------------------------------------------------------
+    def scan(self, entries: Sequence[JournalEntry],
+             end_time: Optional[float] = None) -> List[WatchdogFinding]:
+        """Run all four detectors; findings ordered by (at, detector)."""
+        entries = list(entries)
+        if end_time is None:
+            end_time = max((e.t for e in entries), default=0.0)
+        findings: List[WatchdogFinding] = []
+        findings += self._scan_in_doubt(entries, end_time)
+        findings += self._scan_lock_wait(entries, end_time)
+        findings += self._scan_orphans(entries, end_time)
+        findings += self._scan_unacked_forces(entries, end_time)
+        findings.sort(key=lambda f: (f.at, DETECTORS.index(f.detector),
+                                     f.node, f.txn or ""))
+        return findings
+
+    def _scan_in_doubt(self, entries, end_time) -> List[WatchdogFinding]:
+        opened: Dict[Tuple[str, str], float] = {}
+        out: List[WatchdogFinding] = []
+        for entry in entries:
+            if entry.kind != "transition" or entry.txn is None:
+                continue
+            key = (entry.txn, entry.node)
+            if entry.ref == _IN_DOUBT_STATE:
+                opened.setdefault(key, entry.t)
+            elif key in opened:
+                start = opened.pop(key)
+                residency = entry.t - start
+                if residency >= self.in_doubt_threshold:
+                    out.append(WatchdogFinding(
+                        "in_doubt", entry.txn, entry.node, entry.t,
+                        f"in-doubt for {residency:g} "
+                        f"(threshold {self.in_doubt_threshold:g})",
+                        residency))
+        for (txn, node), start in sorted(opened.items()):
+            out.append(WatchdogFinding(
+                "in_doubt", txn, node, end_time,
+                f"still in doubt at journal end (since t={start:g})",
+                end_time - start))
+        return out
+
+    def _scan_lock_wait(self, entries, end_time) -> List[WatchdogFinding]:
+        waiting: Dict[Tuple[str, str, str], float] = {}
+        out: List[WatchdogFinding] = []
+        for entry in entries:
+            if entry.txn is None or entry.ref is None:
+                continue
+            key = (entry.node, entry.txn, entry.ref)
+            if entry.kind == "wait":
+                waiting.setdefault(key, entry.t)
+            elif entry.kind == "grant" and key in waiting:
+                start = waiting.pop(key)
+                burn = entry.t - start
+                if burn >= self.lock_wait_threshold:
+                    out.append(WatchdogFinding(
+                        "lock_wait", entry.txn, entry.node, entry.t,
+                        f"waited {burn:g} for lock {entry.ref!r} "
+                        f"(threshold {self.lock_wait_threshold:g})",
+                        burn))
+        for (node, txn, key), start in sorted(waiting.items()):
+            out.append(WatchdogFinding(
+                "lock_wait", txn, node, end_time,
+                f"lock {key!r} never granted (waiting since "
+                f"t={start:g})", end_time - start))
+        return out
+
+    def _scan_orphans(self, entries, end_time) -> List[WatchdogFinding]:
+        out: List[WatchdogFinding] = []
+        sends: Dict[int, JournalEntry] = {
+            e.eid: e for e in entries if e.kind == "send"}
+        for entry in entries:
+            if entry.kind != "deliver":
+                continue
+            for parent in entry.parents:
+                sends.pop(parent, None)
+        for eid in sorted(sends):
+            send = sends[eid]
+            out.append(WatchdogFinding(
+                "orphan", send.txn, send.node, send.t,
+                f"{send.ref} to {send.peer} sent at t={send.t:g} "
+                "never delivered"))
+        last_state: Dict[Tuple[str, str], JournalEntry] = {}
+        for entry in entries:
+            if entry.kind == "transition" and entry.txn is not None:
+                last_state[(entry.txn, entry.node)] = entry
+        for (txn, node), entry in sorted(last_state.items()):
+            if entry.ref not in SETTLED_STATES:
+                out.append(WatchdogFinding(
+                    "orphan", txn, node, end_time,
+                    f"span left open: last state {entry.ref!r} "
+                    f"at t={entry.t:g}"))
+        return out
+
+    def _scan_unacked_forces(self, entries, end_time
+                             ) -> List[WatchdogFinding]:
+        pending: Dict[Tuple[str, int], JournalEntry] = {}
+        for entry in entries:
+            if entry.kind == "write" and entry.forced:
+                pending[(entry.node, entry.lsn)] = entry
+            elif entry.kind == "harden":
+                pending.pop((entry.node, entry.lsn), None)
+        out: List[WatchdogFinding] = []
+        for (node, lsn), write in sorted(pending.items()):
+            out.append(WatchdogFinding(
+                "unacked_force", write.txn, node, end_time,
+                f"forced {write.ref} (lsn {lsn}) written at "
+                f"t={write.t:g} never hardened"))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text exposition
+# ----------------------------------------------------------------------
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def prometheus_text(entries: Sequence[JournalEntry],
+                    findings: Sequence[WatchdogFinding] = (),
+                    prefix: str = "repro") -> str:
+    """Render journal + watchdog state in Prometheus text exposition.
+
+    This is the snapshot format a live transport twin will serve from
+    a metrics endpoint: entry counters by kind, finding counters by
+    detector (all detectors present, zero when quiet), and the
+    journal's last timestamp as a gauge.
+    """
+    by_kind: Dict[str, int] = {}
+    last_time = 0.0
+    for entry in entries:
+        by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+        if entry.t > last_time:
+            last_time = entry.t
+    by_detector = {name: 0 for name in DETECTORS}
+    for finding in findings:
+        by_detector[finding.detector] = \
+            by_detector.get(finding.detector, 0) + 1
+
+    lines = [
+        f"# HELP {prefix}_journal_entries_total Journal entries "
+        "recorded, by kind.",
+        f"# TYPE {prefix}_journal_entries_total counter",
+    ]
+    for kind in sorted(by_kind):
+        lines.append(f'{prefix}_journal_entries_total'
+                     f'{{kind="{_escape_label(kind)}"}} {by_kind[kind]}')
+    lines += [
+        f"# HELP {prefix}_watchdog_findings_total Watchdog findings, "
+        "by detector.",
+        f"# TYPE {prefix}_watchdog_findings_total counter",
+    ]
+    for detector in DETECTORS:
+        lines.append(f'{prefix}_watchdog_findings_total'
+                     f'{{detector="{detector}"}} {by_detector[detector]}')
+    lines += [
+        f"# HELP {prefix}_journal_last_time Sim time of the newest "
+        "journal entry.",
+        f"# TYPE {prefix}_journal_last_time gauge",
+        f"{prefix}_journal_last_time {last_time:g}",
+    ]
+    return "\n".join(lines) + "\n"

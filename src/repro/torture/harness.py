@@ -284,9 +284,16 @@ def _durable_agreement(cluster: Cluster, txn_id: str) -> List[str]:
 
 
 def run_site(config_name: str, variant: str, seed: int, site: CrashSite,
-             when: str) -> SiteRun:
-    """Replay one cell with a crash armed at one site."""
+             when: str, instrument=None) -> SiteRun:
+    """Replay one cell with a crash armed at one site.
+
+    ``instrument``, when given, is called with the freshly built
+    cluster before the crash is armed — the hook the flight-recorder
+    journal uses to record artifact replays for divergence diffing.
+    """
     cluster, spec = _build_cell(config_name, variant, seed)
+    if instrument is not None:
+        instrument(cluster)
     checker = ProtocolChecker().attach(cluster)
 
     def on_crash() -> None:
@@ -410,8 +417,8 @@ def torture_sweep(configs: Optional[Sequence[str]] = None,
     return report
 
 
-def replay_artifact(data: Dict) -> SiteRun:
+def replay_artifact(data: Dict, instrument=None) -> SiteRun:
     """Re-run the exact site a failure artifact describes."""
     site = CrashSite.from_dict(data["site"])
     return run_site(data["config"], data["variant"], int(data["seed"]),
-                    site, data["when"])
+                    site, data["when"], instrument=instrument)

@@ -276,6 +276,53 @@ class TestHistogramMergeEdges:
         assert histogram.percentile(0.5) == 7.0
         assert histogram.percentile(1.0) == 7.0
 
+    def test_value_on_bucket_edge_lands_in_lower_bucket(self):
+        # Bounds are *inclusive* upper edges: a value exactly on an
+        # edge belongs to that edge's bucket, not the next one up.
+        histogram = Histogram(bounds=[1.0, 2.0, 4.0])
+        for value in (1.0, 2.0, 4.0):
+            histogram.record(value)
+        assert list(histogram.counts) == [1, 1, 1, 0]
+
+    def test_values_beyond_last_bound_go_to_overflow(self):
+        histogram = Histogram(bounds=[1.0, 2.0])
+        histogram.record_many([5.0, 9.0])
+        assert list(histogram.counts) == [0, 0, 2]
+        # Overflow-bucket percentiles clamp to the observed max, not
+        # to an unbounded bucket edge.
+        assert histogram.percentile(0.5) <= 9.0
+        assert histogram.percentile(1.0) == 9.0
+
+    def test_extreme_quantiles_clamp_to_observed_range(self):
+        histogram = Histogram(bounds=[1.0, 2.0, 4.0, 8.0])
+        histogram.record_many([1.5, 3.0, 6.0])
+        assert histogram.percentile(0.0) == 1.5
+        assert histogram.percentile(1.0) == 6.0
+
+    def test_percentile_monotonic_in_q(self):
+        histogram = Histogram()
+        histogram.record_many(float(i) for i in range(1, 42))
+        quantiles = [histogram.percentile(q / 20.0) for q in range(21)]
+        assert quantiles == sorted(quantiles)
+
+    def test_all_mass_on_one_edge_collapses(self):
+        # Every sample exactly at a bucket's inclusive upper edge:
+        # min == max == edge, so interpolation must not leak below it.
+        histogram = Histogram(bounds=[1.0, 2.0, 4.0])
+        histogram.record_many([2.0, 2.0, 2.0])
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram.percentile(q) == 2.0
+
+    def test_boundary_sample_survives_merge_and_dict(self):
+        histogram = Histogram(bounds=[1.0, 2.0, 4.0])
+        histogram.record_many([1.0, 2.0, 4.0, 5.0])
+        restored = Histogram.from_dict(histogram.to_dict())
+        assert list(restored.counts) == list(histogram.counts)
+        other = Histogram(bounds=[1.0, 2.0, 4.0])
+        other.record(2.0)
+        histogram.merge(other)
+        assert list(histogram.counts) == [1, 2, 1, 1]
+
 
 class TestDeadlockMetrics:
     def test_record_count_and_victims(self):

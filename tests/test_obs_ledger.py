@@ -370,6 +370,52 @@ class TestSimTimeSeries:
         assert data["interval"] == 0.5
         assert set(data["series"]) == set(series.series)
 
+    def test_json_export_is_exact(self):
+        """to_json is the lossless wire form of to_dict — every point,
+        not just the key set, survives the round trip."""
+        series = self.run_sampled()
+        exported = json.loads(series.to_json())
+        native = series.to_dict()
+        assert exported["capacity"] == native["capacity"]
+        for name, points in native["series"].items():
+            assert exported["series"][name] == \
+                [list(point) for point in points]
+
+    def test_wraparound_keeps_newest_samples(self):
+        """A capped ring buffer holds exactly the tail of the uncapped
+        sample stream — wraparound evicts oldest-first, point for
+        point, across every gauge."""
+        def sampled(capacity):
+            cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s1", "s2"])
+            series = SimTimeSeries(interval=0.25,
+                                   capacity=capacity).attach(cluster)
+            for i in range(4):
+                cluster.run_transaction(
+                    updating_spec("c", ["s1", "s2"], txn_id=f"T{i}"))
+            series.sample()
+            series.detach()
+            return series
+
+        full = sampled(capacity=4096)
+        capped = sampled(capacity=5)
+        assert capped.n_samples == 5
+        assert full.n_samples > 5  # the cap actually bit
+        for name, points in capped.series.items():
+            assert list(points) == list(full.series[name])[-5:]
+
+    def test_wraparound_survives_json_export(self):
+        cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s"])
+        series = SimTimeSeries(interval=0.25, capacity=3).attach(cluster)
+        for i in range(4):
+            cluster.run_transaction(
+                updating_spec("c", ["s"], txn_id=f"T{i}"))
+        series.detach()
+        data = json.loads(series.to_json())
+        assert all(len(points) == 3 for points in data["series"].values())
+        for name, points in series.series.items():
+            assert data["series"][name] == \
+                [list(point) for point in points]
+
     def test_dashboard_renders_all_gauges(self):
         series = self.run_sampled()
         dashboard = series.render_dashboard()
