@@ -296,6 +296,31 @@ def run_journal_gate() -> int:
     return failures
 
 
+def run_twin_gate() -> int:
+    """Deployment-twin gate: each protocol family runs live over
+    localhost TCP (real sockets, real fsyncs), and the recorded
+    journal's delivery schedule is replayed in the deterministic
+    simulator.  The diff must be empty with identical checker verdicts
+    and cost triples, and every counted physical log I/O must be one
+    real fsync — no tolerance.  Skips (cleanly) only when the sandbox
+    has no loopback networking."""
+    from repro.transport import loopback_available, run_twin_matrix
+    print("== live TCP deployment twin (live run -> sim replay -> diff) ==")
+    if not loopback_available():
+        print("  SKIPPED: loopback networking unavailable in this sandbox")
+        return 0
+    failures = 0
+    for protocol, report in run_twin_matrix(seed=11, txns=6).items():
+        if report.clean:
+            print(f"  {report.describe()}")
+        else:
+            print(f"  {protocol}: TWIN DIVERGED", file=sys.stderr)
+            print("    " + report.describe().replace("\n", "\n    "),
+                  file=sys.stderr)
+            failures += 1
+    return failures
+
+
 def run_torture_matrix() -> int:
     """Full crash-point torture matrix: every config x variant cell,
     every recorded site, both pre and post sides.  Any failing site is
@@ -345,6 +370,12 @@ def main(argv=None) -> int:
                              "self-check (record -> replay -> diff "
                              "empty across BASIC/PA/PN/PC) as a "
                              "zero-tolerance correctness gate")
+    parser.add_argument("--twin", action="store_true",
+                        help="also run the live TCP deployment twin "
+                             "(repro-2pc live all): localhost run -> "
+                             "journal -> sim replay -> diff must be "
+                             "empty with identical verdicts and cost "
+                             "triples")
     parser.add_argument("--skip-tests", action="store_true",
                         help="skip the tier-1 suite")
     parser.add_argument("--tolerance", type=float,
@@ -377,6 +408,12 @@ def main(argv=None) -> int:
         status = run_journal_gate()
         if status:
             print("journal self-check found divergent replays",
+                  file=sys.stderr)
+            return status
+    if args.twin:
+        status = run_twin_gate()
+        if status:
+            print("deployment twin diverged from its sim replay",
                   file=sys.stderr)
             return status
     if args.update:

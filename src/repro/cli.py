@@ -18,6 +18,10 @@ Usage::
                      [--prom] [--seed S] [--txns K]
     repro-2pc diff A.jsonl B.jsonl [--ignore-time] [--normalize-txns]
                   [--json]
+    repro-2pc live NAME|all [--seed S] [--txns K] [--log-dir DIR]
+                  [--json]
+    repro-2pc serve [--config NAME] [--nodes a,b,c] [--host H]
+                    [--base-port P] [--log-dir DIR]
     repro-2pc list-profiles
 """
 
@@ -399,6 +403,74 @@ def _run_diff(path_a: str, path_b: str, ignore_time: bool,
     return 0 if divergence is None else 1
 
 
+def _run_live(name: str, seed: int, txns: int, log_dir: Optional[str],
+              as_json: bool) -> int:
+    """Run a workload live over localhost TCP and twin-check it.
+
+    The live run records a journal and replays its delivery schedule in
+    the deterministic simulator; exit 0 only if the diff is empty with
+    identical checker verdicts, cost triples, and 1:1 fsync mapping.
+    """
+    import json as _json
+
+    from repro.transport import (TWIN_PROTOCOLS, loopback_available,
+                                 run_twin_check, run_twin_matrix)
+
+    if not loopback_available():
+        print("loopback networking unavailable in this sandbox; "
+              "cannot run live", file=sys.stderr)
+        return 2
+    if name == "all":
+        reports = run_twin_matrix(seed=seed, txns=txns, log_dir=log_dir)
+    elif name in TWIN_PROTOCOLS:
+        reports = {name: run_twin_check(name, seed=seed, txns=txns,
+                                        log_dir=log_dir)}
+    else:
+        print(f"unknown protocol {name!r}; expected one of "
+              f"{', '.join(TWIN_PROTOCOLS)} or 'all'", file=sys.stderr)
+        return 2
+    clean = all(r.clean for r in reports.values())
+    if as_json:
+        print(_json.dumps({key: r.to_dict() for key, r in reports.items()},
+                          indent=2, sort_keys=True))
+    else:
+        for report in reports.values():
+            print(report.describe())
+    return 0 if clean else 1
+
+
+def _run_serve(config_name: str, nodes: str, host: str, base_port: int,
+               seed: int, log_dir: Optional[str]) -> int:
+    """Serve a live cluster until interrupted (``repro-2pc serve``)."""
+    import asyncio
+
+    from repro.transport import TWIN_PROTOCOLS, serve
+
+    if config_name not in TWIN_PROTOCOLS:
+        print(f"unknown protocol {config_name!r}; expected one of "
+              f"{', '.join(TWIN_PROTOCOLS)}", file=sys.stderr)
+        return 2
+    node_names = [n.strip() for n in nodes.split(",") if n.strip()]
+    if not node_names:
+        print("no nodes given", file=sys.stderr)
+        return 2
+
+    def ready(cluster, addresses) -> None:
+        print(f"serving {config_name} cluster "
+              f"({len(addresses)} nodes); send a 'begin' frame to any "
+              f"node to run a transaction:")
+        for node, (bound_host, port) in addresses.items():
+            print(f"  {node}  {bound_host}:{port}")
+
+    try:
+        asyncio.run(serve(TWIN_PROTOCOLS[config_name], node_names,
+                          host=host, base_port=base_port, seed=seed,
+                          log_dir=log_dir, ready=ready))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    return 0
+
+
 def _run_audit(workers: Optional[int], txns: int, zero_tolerance: bool,
                faults: bool, as_json: bool) -> int:
     """The conformance audit matrix (and optional seeded-fault run)."""
@@ -691,6 +763,44 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--json", action="store_true",
                       help="emit the verdict as JSON")
 
+    live = sub.add_parser(
+        "live", help="run a workload on the real asyncio/TCP transport "
+                     "and twin-check it: the recorded journal's "
+                     "delivery schedule is replayed in the simulator "
+                     "and the diff must be empty")
+    live.add_argument("name",
+                      help=f"protocol ({', '.join(JOURNAL_PROTOCOLS)}) "
+                           "or 'all'")
+    live.add_argument("--seed", type=int, default=11,
+                      help="workload seed (default 11)")
+    live.add_argument("--txns", type=int, default=6,
+                      help="transactions to run (default 6)")
+    live.add_argument("--log-dir", default=None, metavar="DIR",
+                      help="keep the nodes' WAL files here (default: "
+                           "a throwaway temp dir)")
+    live.add_argument("--json", action="store_true",
+                      help="emit the twin reports as JSON")
+
+    serve = sub.add_parser(
+        "serve", help="run a live cluster over TCP until interrupted; "
+                      "external clients drive transactions with "
+                      "'begin' control frames (see docs/DEPLOYMENT.md)")
+    serve.add_argument("--config", default="presumed_abort",
+                       help="protocol preset (default presumed_abort)")
+    serve.add_argument("--nodes", default="n0,n1,n2",
+                       help="comma-separated node names (default "
+                            "n0,n1,n2)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--base-port", type=int, default=0,
+                       help="first port; node i listens on base+i "
+                            "(default 0 = ephemeral)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="random-stream seed (default 0)")
+    serve.add_argument("--log-dir", default=None, metavar="DIR",
+                       help="directory for the nodes' WAL files "
+                            "(default: in-memory stable storage)")
+
     saturate = sub.add_parser(
         "saturate", help="machine-saturation benchmark: one worker per "
                          "core running the full commit protocol, "
@@ -799,6 +909,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "diff":
         return _run_diff(args.a, args.b, args.ignore_time,
                          args.normalize_txns, args.json)
+    if args.command == "live":
+        return _run_live(args.name, args.seed, args.txns, args.log_dir,
+                         args.json)
+    if args.command == "serve":
+        return _run_serve(args.config, args.nodes, args.host,
+                          args.base_port, args.seed, args.log_dir)
     if args.command == "saturate":
         import json as json_module
         from repro.parallel.saturate import (FULL_TXNS_PER_WORKER,

@@ -30,11 +30,16 @@ class Cluster:
     def __init__(self, config: Optional[ProtocolConfig] = None,
                  nodes: Sequence[str] = (), seed: int = 0,
                  latency: Optional[LatencyModel] = None,
-                 reliable_nodes: Iterable[str] = ()) -> None:
+                 reliable_nodes: Iterable[str] = (),
+                 network_class: Optional[type] = None) -> None:
         self.config = config or PRESUMED_ABORT
         self.simulator = Simulator(seed=seed)
         self.metrics = MetricsCollector()
-        self.network = Network(self.simulator, self.metrics, latency)
+        # ``network_class`` lets harnesses substitute a Network subclass
+        # (e.g. the twin replay's schedule-driven delivery) while the
+        # rest of the wiring stays identical.
+        cls = network_class or Network
+        self.network = cls(self.simulator, self.metrics, latency)
         self.nodes: Dict[str, TMNode] = {}
         reliable = set(reliable_nodes)
         for name in nodes:

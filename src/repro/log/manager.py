@@ -11,6 +11,26 @@ Behaviour contract (what the rest of the system relies on):
   after one simulated I/O, possibly batched by group commit.
 * ``crash()`` loses the buffer and any in-flight I/O; only stable
   records survive into ``recover()``.
+
+Force-batching contract (group commit):
+
+* Every force request is eventually satisfied by exactly one physical
+  I/O *completion* — a request is never stranded.  When an I/O
+  completes with requests still pending, the manager immediately
+  starts the next I/O if the group is full (or the leftover requests'
+  timeout deadline has already passed), and otherwise re-arms the
+  group timer for the earliest outstanding deadline.  A group timer
+  that fires while an I/O is in flight is therefore harmless: the
+  completion path takes over responsibility for the leftovers.
+* A force request whose target LSN is already covered by the
+  in-flight flush (``lsn <= flush_lsn``) piggybacks on that I/O's
+  completion: its callback fires with the batch and **no second
+  physical I/O is scheduled**.  This keeps ``record_log_io`` counts —
+  and hence the forced-write economics of Tables 2-4 — honest: a
+  physical I/O is only counted when it hardens something.
+* ``force()`` with an empty buffer but an I/O in flight targets the
+  true highest in-flight LSN, so it completes exactly when that I/O
+  does.
 """
 
 from __future__ import annotations
@@ -50,6 +70,8 @@ class LogManager:
         self._next_lsn = 1
         self._pending_forces: List[_ForceRequest] = []
         self._io_in_flight = False
+        #: Highest LSN the in-flight I/O will harden (None when idle).
+        self._inflight_lsn: Optional[int] = None
         #: Bumped on every crash so in-flight I/O completions from a
         #: previous incarnation are recognised and discarded.
         self._crash_epoch = 0
@@ -104,7 +126,13 @@ class LogManager:
             if on_durable is not None:
                 self.simulator.call_soon(on_durable, name="log-noop-force")
             return
-        last_lsn = self._buffer[-1].lsn if self._buffer else self.stable.durable_lsn
+        if self._buffer:
+            last_lsn = self._buffer[-1].lsn
+        else:
+            # Buffer empty but an I/O is in flight: target the highest
+            # LSN that I/O will harden, so the request piggybacks on it.
+            assert self._inflight_lsn is not None
+            last_lsn = self._inflight_lsn
         self._request_force(last_lsn, on_durable)
 
     # ------------------------------------------------------------------
@@ -122,18 +150,19 @@ class LogManager:
                 self._group_timer = self.simulator.timer(
                     self.group_commit.timeout, self._start_io,
                     name=f"group-commit-timer:{self.node_name}")
-        elif self.group_commit.group_size == 1:
-            self._start_io()
         # else: wait for the group to fill (caller opted into unbounded wait)
 
     def _start_io(self) -> None:
+        if self._io_in_flight or not self._pending_forces:
+            # Nothing to do (a timer firing during an in-flight I/O lands
+            # here); the completion path owns any leftover requests.
+            return
         if self._group_timer is not None:
             self._group_timer.cancel()
             self._group_timer = None
-        if self._io_in_flight or not self._pending_forces:
-            return
         self._io_in_flight = True
         flush_lsn = max(req.lsn for req in self._pending_forces)
+        self._inflight_lsn = flush_lsn
         satisfied = self._pending_forces
         self._pending_forces = []
         self.metrics.record_log_io(self.node_name)
@@ -143,22 +172,57 @@ class LogManager:
             if epoch != self._crash_epoch:
                 return  # the node crashed while this I/O was in flight
             self._io_in_flight = False
+            self._inflight_lsn = None
+            # Requests that arrived while this I/O was in flight and whose
+            # target LSN it covers are hardened by *this* completion —
+            # scheduling another physical I/O for them would count an I/O
+            # that flushes nothing.
+            piggyback = [r for r in self._pending_forces if r.lsn <= flush_lsn]
+            if piggyback:
+                self._pending_forces = [
+                    r for r in self._pending_forces if r.lsn > flush_lsn]
             now = self.simulator.now
             for request in satisfied:
+                self.metrics.record_force_latency(
+                    self.node_name, now - request.requested_at)
+            for request in piggyback:
                 self.metrics.record_force_latency(
                     self.node_name, now - request.requested_at)
             self._flush_to(flush_lsn)
             for request in satisfied:
                 if request.callback is not None:
                     request.callback()
-            # Requests that arrived while this I/O was in flight.
-            if self._pending_forces and (
-                    len(self._pending_forces) >= self.group_commit.group_size
-                    or self.group_commit.group_size == 1):
-                self._start_io()
+            for request in piggyback:
+                if request.callback is not None:
+                    request.callback()
+            self._restart_pending()
 
         self.simulator.schedule(self.io_latency, complete,
                                 name=f"log-io:{self.node_name}")
+
+    def _restart_pending(self) -> None:
+        """Take over leftover requests after an I/O completes.
+
+        A group timer that fired while the I/O was in flight was a no-op,
+        so the completion must either start the next I/O itself (group
+        full, or the leftovers' deadline already passed) or re-arm the
+        timer for the earliest outstanding deadline.
+        """
+        if self._io_in_flight or not self._pending_forces:
+            return
+        if len(self._pending_forces) >= self.group_commit.group_size:
+            self._start_io()
+            return
+        timeout = self.group_commit.timeout
+        if timeout is None:
+            return  # wait for the group to fill, as requested
+        deadline = min(r.requested_at for r in self._pending_forces) + timeout
+        if deadline <= self.simulator.now:
+            self._start_io()
+        elif self._group_timer is None or not self._group_timer.active:
+            self._group_timer = self.simulator.timer(
+                deadline - self.simulator.now, self._start_io,
+                name=f"group-commit-timer:{self.node_name}")
 
     def _flush_to(self, lsn: int) -> None:
         durable = [r for r in self._buffer if r.lsn <= lsn]
@@ -178,6 +242,7 @@ class LogManager:
         # Force requests in flight never complete; their records are gone.
         self._pending_forces = []
         self._io_in_flight = False
+        self._inflight_lsn = None
         self._crash_epoch += 1
         if self._group_timer is not None:
             self._group_timer.cancel()

@@ -160,6 +160,22 @@ class Network:
             return False
 
         delay = self.latency_model.latency(message.src, message.dst, self._rng)
+        self._transmit(message, delay)
+        if self.on_transmit:
+            for hook in self.on_transmit:
+                hook(message)
+        return True
+
+    def _transmit(self, message: Message, delay: float) -> None:
+        """Put an accepted message on the wire.
+
+        This is the transport seam: the base class schedules simulated
+        delivery (FIFO-clamped per link, possibly rewritten by an
+        adversary); ``repro.transport`` subclasses override it to write
+        real TCP frames and feed arrivals back through ``_deliver``.
+        Everything before this point (flow accounting, drop filters,
+        partitions, hooks) is transport-independent.
+        """
         plans = (self.adversary.plan(message, delay)
                  if self.adversary is not None else None)
         if plans is None:
@@ -185,10 +201,6 @@ class Network:
                 self.simulator.at(arrival,
                                   lambda m=message: self._deliver(m),
                                   name=f"deliver:{message.describe()}")
-        if self.on_transmit:
-            for hook in self.on_transmit:
-                hook(message)
-        return True
 
     def _deliver(self, message: Message) -> None:
         # Re-check the partition at delivery time: a partition that forms

@@ -1,0 +1,42 @@
+"""Real-transport deployment of the ``repro.core`` protocol stack.
+
+The simulated and live systems share every protocol object; this
+package provides the live substitutes for the three simulation
+primitives — time (:class:`~repro.transport.clock.LiveClock`), the
+wire (:class:`~repro.transport.tcp.TcpTransport` under
+:class:`~repro.transport.live.LiveNetwork`), and stable storage
+(:class:`~repro.transport.storage.FileStableStorage`) — plus the twin
+oracle (:mod:`repro.transport.twin`) that proves a live run causally
+equivalent to its deterministic replay.  See ``docs/DEPLOYMENT.md``.
+"""
+
+from repro.transport.clock import ActivityTracker, LiveClock, ScheduledCall
+from repro.transport.live import LiveCluster, LiveNetwork, serve
+from repro.transport.storage import FileStableStorage, load_records
+from repro.transport.tcp import TcpTransport
+from repro.transport.twin import (DEFAULT_NODES, TWIN_PROTOCOLS,
+                                  ScheduledNetwork, TwinReport,
+                                  delivery_schedule, loopback_available,
+                                  run_twin_check, run_twin_matrix,
+                                  twin_specs)
+
+__all__ = [
+    "ActivityTracker",
+    "LiveClock",
+    "ScheduledCall",
+    "LiveCluster",
+    "LiveNetwork",
+    "serve",
+    "FileStableStorage",
+    "load_records",
+    "TcpTransport",
+    "DEFAULT_NODES",
+    "TWIN_PROTOCOLS",
+    "ScheduledNetwork",
+    "TwinReport",
+    "delivery_schedule",
+    "loopback_available",
+    "run_twin_check",
+    "run_twin_matrix",
+    "twin_specs",
+]

@@ -1,0 +1,124 @@
+"""Asyncio TCP transport: one listening socket per node, one ordered
+stream per directed link.
+
+Each node gets a server socket; for every directed pair of nodes the
+transport opens a dedicated client connection.  Frames written on one
+link are read in order at the destination — TCP's byte-stream ordering
+gives the per-link session (FIFO) guarantee the LU 6.2 sessions in the
+paper provide and the simulated network enforces with its link clamp.
+
+The transport is deliberately dumb: it moves frames.  What a frame
+*means* (protocol message, begin-transaction control frame, ping) is
+the :mod:`repro.transport.live` layer's business, via ``on_frame``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.transport.wire import encode_frame, read_frame
+
+FrameHandler = Callable[[str, dict, "asyncio.StreamWriter"], None]
+
+
+class TcpTransport:
+    """Localhost (or LAN) mesh of length-prefixed JSON frame streams."""
+
+    def __init__(self) -> None:
+        #: Called as ``on_frame(node, obj, writer)`` for every frame a
+        #: node's server reads; ``writer`` allows control-frame replies.
+        self.on_frame: Optional[FrameHandler] = None
+        self._servers: Dict[str, "asyncio.base_events.Server"] = {}
+        self._addresses: Dict[str, Tuple[str, int]] = {}
+        self._writers: Dict[Tuple[str, str], "asyncio.StreamWriter"] = {}
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    async def listen(self, node: str, host: str = "127.0.0.1",
+                     port: int = 0) -> Tuple[str, int]:
+        """Start ``node``'s server; returns the bound (host, port)."""
+
+        async def handler(reader: "asyncio.StreamReader",
+                          writer: "asyncio.StreamWriter") -> None:
+            await self._serve_connection(node, reader, writer)
+
+        server = await asyncio.start_server(handler, host, port)
+        self._servers[node] = server
+        bound = server.sockets[0].getsockname()
+        self._addresses[node] = (bound[0], bound[1])
+        return self._addresses[node]
+
+    def set_peer(self, node: str, host: str, port: int) -> None:
+        """Register a remote node's address (multi-process deployments)."""
+        self._addresses[node] = (host, port)
+
+    def address(self, node: str) -> Tuple[str, int]:
+        return self._addresses[node]
+
+    async def connect(self, src: str, dst: str) -> None:
+        host, port = self._addresses[dst]
+        reader, writer = await asyncio.open_connection(host, port)
+        self._writers[(src, dst)] = writer
+
+    async def connect_mesh(self, nodes: Sequence[str]) -> None:
+        """Open every directed link up front so sends are synchronous."""
+        for src in nodes:
+            for dst in nodes:
+                if src != dst:
+                    await self.connect(src, dst)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, obj: dict) -> None:
+        """Write one frame on the (src, dst) link.
+
+        Synchronous by design: ``Network.send`` is synchronous, and the
+        asyncio writer buffers.  Per-link ordering is the write order.
+        """
+        writer = self._writers[(src, dst)]
+        writer.write(encode_frame(obj))
+        self.frames_sent += 1
+
+    async def _serve_connection(self, node: str,
+                                reader: "asyncio.StreamReader",
+                                writer: "asyncio.StreamWriter") -> None:
+        try:
+            while True:
+                obj = await read_frame(reader)
+                if obj is None:
+                    break
+                self.frames_received += 1
+                if self.on_frame is not None:
+                    self.on_frame(node, obj, writer)
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        waiters: List[Awaitable] = []
+        for writer in self._writers.values():
+            try:
+                writer.close()
+                waiters.append(writer.wait_closed())
+            except Exception:  # pragma: no cover
+                pass
+        self._writers.clear()
+        for server in self._servers.values():
+            server.close()
+            waiters.append(server.wait_closed())
+        self._servers.clear()
+        for waiter in waiters:
+            try:
+                await waiter
+            except Exception:  # pragma: no cover
+                pass

@@ -1,0 +1,204 @@
+"""Wire codecs for the live transport: JSON frames over TCP.
+
+Frames are 4-byte big-endian length prefixes followed by a compact
+UTF-8 JSON object — the simplest encoding that preserves per-link
+session ordering over a TCP stream (the LU 6.2 FIFO contract the
+simulated :class:`repro.net.network.Network` also honours).
+
+Protocol payloads are JSON-safe except for three keys that carry
+actual objects inside the process: ``spec`` / ``participant`` (commit
+trees on enrollment DATA flows) and ``piggyback`` (nested messages on
+long-locks conversations); those get explicit codecs.  ``msg_id`` is
+carried verbatim so the journal recorder pairs a send observed at the
+source with its delivery at the destination.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.core.spec import ParticipantSpec, TransactionSpec
+from repro.log.records import LogRecord, LogRecordType
+from repro.lrm.operations import OpKind, Operation
+from repro.net.message import Message, MessageType, Phase
+
+_LEN = struct.Struct(">I")
+
+#: Ceiling on a single frame; a length prefix beyond this is treated as
+#: a corrupt stream rather than an allocation request.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ValueError(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
+    return _LEN.pack(len(body)) + body
+
+
+async def read_frame(reader: "asyncio.StreamReader"
+                     ) -> Optional[Dict[str, Any]]:
+    """Read one frame; returns None on a clean EOF."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ValueError(f"frame length {length} exceeds {MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return json.loads(body.decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Operations / specs
+# ----------------------------------------------------------------------
+def operation_to_wire(op: Operation) -> Dict[str, Any]:
+    return {"kind": op.kind.value, "key": op.key, "value": op.value}
+
+
+def operation_from_wire(data: Dict[str, Any]) -> Operation:
+    return Operation(kind=OpKind(data["kind"]), key=data["key"],
+                     value=data.get("value"))
+
+
+def participant_to_wire(part: ParticipantSpec) -> Dict[str, Any]:
+    return {
+        "node": part.node,
+        "parent": part.parent,
+        "ops": [operation_to_wire(op) for op in part.ops],
+        "rm_ops": {rm: [operation_to_wire(op) for op in ops]
+                   for rm, ops in part.rm_ops.items()},
+        "last_agent": part.last_agent,
+        "unsolicited_vote": part.unsolicited_vote,
+        "ok_to_leave_out": part.ok_to_leave_out,
+        "long_locks": part.long_locks,
+        "veto": part.veto,
+    }
+
+
+def participant_from_wire(data: Dict[str, Any]) -> ParticipantSpec:
+    return ParticipantSpec(
+        node=data["node"],
+        parent=data.get("parent"),
+        ops=[operation_from_wire(op) for op in data.get("ops", [])],
+        rm_ops={rm: [operation_from_wire(op) for op in ops]
+                for rm, ops in data.get("rm_ops", {}).items()},
+        last_agent=data.get("last_agent", False),
+        unsolicited_vote=data.get("unsolicited_vote", False),
+        ok_to_leave_out=data.get("ok_to_leave_out", False),
+        long_locks=data.get("long_locks", False),
+        veto=data.get("veto", False),
+    )
+
+
+def spec_to_wire(spec: TransactionSpec) -> Dict[str, Any]:
+    return {
+        "txn_id": spec.txn_id,
+        "await_work_done": spec.await_work_done,
+        "long_locks": spec.long_locks,
+        "participants": [participant_to_wire(p) for p in spec.participants],
+    }
+
+
+def spec_from_wire(data: Dict[str, Any]) -> TransactionSpec:
+    return TransactionSpec(
+        participants=[participant_from_wire(p)
+                      for p in data["participants"]],
+        txn_id=data["txn_id"],
+        await_work_done=data.get("await_work_done", True),
+        long_locks=data.get("long_locks", False),
+    )
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+def _payload_to_wire(payload: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in payload.items():
+        if key == "spec":
+            out[key] = spec_to_wire(value)
+        elif key == "participant":
+            out[key] = participant_to_wire(value)
+        elif key == "piggyback":
+            out[key] = [message_to_wire(m) for m in value]
+        else:
+            out[key] = value
+    return out
+
+
+def _payload_from_wire(payload: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in payload.items():
+        if key == "spec":
+            out[key] = spec_from_wire(value)
+        elif key == "participant":
+            out[key] = participant_from_wire(value)
+        elif key == "piggyback":
+            out[key] = [message_from_wire(m) for m in value]
+        else:
+            out[key] = value
+    return out
+
+
+def message_to_wire(message: Message) -> Dict[str, Any]:
+    return {
+        "msg_type": message.msg_type.value,
+        "txn_id": message.txn_id,
+        "src": message.src,
+        "dst": message.dst,
+        "phase": message.phase.value,
+        "flags": dict(message.flags),
+        "payload": _payload_to_wire(message.payload),
+        "msg_id": message.msg_id,
+    }
+
+
+def message_from_wire(data: Dict[str, Any]) -> Message:
+    return Message(
+        msg_type=MessageType(data["msg_type"]),
+        txn_id=data["txn_id"],
+        src=data["src"],
+        dst=data["dst"],
+        phase=Phase(data["phase"]),
+        flags=dict(data.get("flags", {})),
+        payload=_payload_from_wire(data.get("payload", {})),
+        msg_id=data["msg_id"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Log records (the on-disk WAL line format)
+# ----------------------------------------------------------------------
+def record_to_wire(record: LogRecord) -> Dict[str, Any]:
+    return {
+        "lsn": record.lsn,
+        "txn_id": record.txn_id,
+        "record_type": record.record_type.value,
+        "node": record.node,
+        "forced": record.forced,
+        "written_at": record.written_at,
+        "payload": record.payload,
+    }
+
+
+def record_from_wire(data: Dict[str, Any]) -> LogRecord:
+    return LogRecord(
+        lsn=data["lsn"],
+        txn_id=data["txn_id"],
+        record_type=LogRecordType(data["record_type"]),
+        node=data["node"],
+        forced=data["forced"],
+        written_at=data["written_at"],
+        payload=dict(data.get("payload", {})),
+    )

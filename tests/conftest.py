@@ -12,6 +12,30 @@ from repro.metrics.collector import MetricsCollector
 from repro.sim.kernel import Simulator
 
 
+def _loopback_available() -> bool:
+    import socket
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind(("127.0.0.1", 0))
+            probe.listen(1)
+        finally:
+            probe.close()
+        return True
+    except OSError:
+        return False
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    """Skip ``live``-marked tests on sandboxes without loopback TCP."""
+    if _loopback_available():
+        return
+    skip = pytest.mark.skip(reason="loopback networking unavailable")
+    for item in items:
+        if "live" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def simulator() -> Simulator:
     return Simulator(seed=7)

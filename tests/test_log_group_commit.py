@@ -1,0 +1,208 @@
+"""Group-commit edge cases: the force-batching contract under fire.
+
+Pins the two confirmed bugs this PR fixes:
+
+* Liveness: a timeout-armed force whose group timer fires during an
+  in-flight I/O must not be stranded — the completion path has to
+  start the next I/O or re-arm the timer for the leftovers.
+* Cost accounting: a force request whose target LSN is covered by the
+  in-flight flush must piggyback on that I/O's completion rather than
+  scheduling a second physical I/O that hardens nothing.
+"""
+
+import pytest
+
+from repro.log.group_commit import GroupCommitPolicy
+from repro.log.manager import LogManager
+from repro.log.records import LogRecordType
+
+
+def make_log(simulator, metrics, io_latency, policy):
+    return LogManager(simulator, metrics, "n1", io_latency=io_latency,
+                      group_commit=policy)
+
+
+class TestTimerDuringInflightIO:
+    def test_force_stranded_by_timer_firing_during_io(self, simulator, metrics):
+        """Regression (liveness): ISSUE 8 repro — group_size=4,
+        timeout=0.2, io_latency=1.0; a second forced write at t=0.5 had
+        its timer fire at t=0.7 into an in-flight I/O and was stranded
+        forever."""
+        log = make_log(simulator, metrics, 1.0,
+                       GroupCommitPolicy(group_size=4, timeout=0.2))
+        done = []
+        log.write("t1", LogRecordType.PREPARED, force=True,
+                  on_durable=lambda: done.append("first"))
+        simulator.schedule(0.5, lambda: log.write(
+            "t1", LogRecordType.COMMITTED, force=True,
+            on_durable=lambda: done.append("second")))
+        simulator.run()
+        assert done == ["first", "second"]
+        assert log.pending_force_count == 0
+        assert log.durable_lsn == 2
+
+    def test_second_force_completes_at_deadline_plus_io(self, simulator, metrics):
+        """The leftover request's I/O starts as soon as the in-flight one
+        completes (its 0.7 deadline has already passed by then)."""
+        log = make_log(simulator, metrics, 1.0,
+                       GroupCommitPolicy(group_size=4, timeout=0.2))
+        times = {}
+        log.write("t1", LogRecordType.PREPARED, force=True,
+                  on_durable=lambda: times.setdefault("first", simulator.now))
+        simulator.schedule(0.5, lambda: log.write(
+            "t1", LogRecordType.COMMITTED, force=True,
+            on_durable=lambda: times.setdefault("second", simulator.now)))
+        simulator.run()
+        # timer fires 0.2 -> I/O 0.2..1.2; leftover restarts 1.2 -> 2.2
+        assert times["first"] == pytest.approx(1.2)
+        assert times["second"] == pytest.approx(2.2)
+        assert metrics.physical_ios("n1") == 2
+
+    def test_completion_rearms_timer_when_deadline_in_future(self, simulator, metrics):
+        """If the leftover request's deadline has NOT passed at I/O
+        completion, the timer is re-armed for it rather than forcing an
+        eager half-empty flush."""
+        log = make_log(simulator, metrics, 1.0,
+                       GroupCommitPolicy(group_size=4, timeout=5.0))
+        times = {}
+        log.write("t1", LogRecordType.PREPARED, force=True,
+                  on_durable=lambda: times.setdefault("first", simulator.now))
+        # Group timer fires at 5.0 -> I/O 5.0..6.0.  Second request at
+        # 5.5 (during the I/O) has deadline 10.5 > 6.0.
+        simulator.schedule(5.5, lambda: log.write(
+            "t1", LogRecordType.COMMITTED, force=True,
+            on_durable=lambda: times.setdefault("second", simulator.now)))
+        simulator.run()
+        assert times["first"] == pytest.approx(6.0)
+        # Re-armed timer fires at 10.5 -> I/O completes at 11.5.
+        assert times["second"] == pytest.approx(11.5)
+        assert log.pending_force_count == 0
+
+
+class TestPiggybackForce:
+    def test_force_covered_by_inflight_io_is_one_physical_io(self, simulator,
+                                                             metrics):
+        """Regression (cost accounting): ISSUE 8 repro — forced write then
+        immediate force() scheduled two physical I/Os where one hardens
+        everything."""
+        log = make_log(simulator, metrics, 0.5, GroupCommitPolicy(1, None))
+        done = []
+        log.write("t1", LogRecordType.COMMITTED, force=True,
+                  on_durable=lambda: done.append("write"))
+        log.force(lambda: done.append("force"))
+        simulator.run()
+        assert done == ["write", "force"]
+        assert metrics.physical_ios("n1") == 1
+        assert log.durable_lsn == 1
+
+    def test_piggyback_callback_fires_with_the_covering_io(self, simulator,
+                                                           metrics):
+        log = make_log(simulator, metrics, 0.5, GroupCommitPolicy(1, None))
+        times = {}
+        log.write("t1", LogRecordType.COMMITTED, force=True,
+                  on_durable=lambda: times.setdefault("write", simulator.now))
+        log.force(lambda: times.setdefault("force", simulator.now))
+        simulator.run()
+        assert times["write"] == pytest.approx(0.5)
+        assert times["force"] == pytest.approx(0.5)
+
+    def test_new_record_during_io_still_gets_second_io(self, simulator, metrics):
+        """A force targeting a record written AFTER the in-flight flush
+        started must not piggyback — it genuinely needs another I/O."""
+        log = make_log(simulator, metrics, 0.5, GroupCommitPolicy(1, None))
+        done = []
+        log.write("t1", LogRecordType.PREPARED, force=True,
+                  on_durable=lambda: done.append("first"))
+        log.write("t1", LogRecordType.COMMITTED, force=False)
+        log.force(lambda: done.append("second"))
+        simulator.run()
+        assert done == ["first", "second"]
+        assert metrics.physical_ios("n1") == 2
+        assert log.durable_lsn == 2
+
+    def test_force_with_empty_buffer_targets_inflight_lsn(self, simulator,
+                                                          metrics):
+        """force() while the buffer is empty but an I/O is in flight rides
+        that I/O (the old code targeted stable.durable_lsn, which happened
+        to work only by accident of the piggyback comparison)."""
+        log = make_log(simulator, metrics, 0.5, GroupCommitPolicy(1, None))
+        log.write("t1", LogRecordType.COMMITTED, force=True)
+        assert log.buffered_count == 1  # still buffered until I/O completes
+        done = []
+        simulator.schedule(0.2, lambda: log.force(lambda: done.append(simulator.now)))
+        simulator.run()
+        assert done == [pytest.approx(0.5)]
+        assert metrics.physical_ios("n1") == 1
+
+
+class TestCrashMidGroup:
+    def test_crash_with_timer_armed_discards_group(self, simulator, metrics):
+        log = make_log(simulator, metrics, 1.0,
+                       GroupCommitPolicy(group_size=4, timeout=2.0))
+        done = []
+        log.write("t1", LogRecordType.PREPARED, force=True,
+                  on_durable=lambda: done.append("never"))
+        simulator.schedule(0.5, log.crash)
+        simulator.run()
+        assert done == []
+        assert log.pending_force_count == 0
+        assert log.durable_lsn == 0  # nothing ever hardened
+
+    def test_crash_during_io_discards_completion_by_epoch(self, simulator,
+                                                          metrics):
+        log = make_log(simulator, metrics, 1.0,
+                       GroupCommitPolicy(group_size=2, timeout=None))
+        done = []
+        log.write("t1", LogRecordType.PREPARED, force=True,
+                  on_durable=lambda: done.append("a"))
+        log.write("t1", LogRecordType.COMMITTED, force=True,
+                  on_durable=lambda: done.append("b"))
+        simulator.schedule(0.5, log.crash)
+        simulator.run()
+        assert done == []
+        assert log.durable_lsn == 0
+
+    def test_log_usable_after_crash_mid_group(self, simulator, metrics):
+        log = make_log(simulator, metrics, 1.0,
+                       GroupCommitPolicy(group_size=4, timeout=2.0))
+        log.write("t1", LogRecordType.PREPARED, force=True)
+        simulator.schedule(0.5, log.crash)
+        done = []
+
+        def after_recovery():
+            log.recover()
+            log.write("t2", LogRecordType.COMMITTED, force=True,
+                      on_durable=lambda: done.append(simulator.now))
+
+        simulator.schedule(1.0, after_recovery)
+        simulator.run()
+        # Post-recovery group of 1 waits out the 2.0 timeout (armed at
+        # t=1.0), then takes one 1.0 I/O.
+        assert done == [pytest.approx(4.0)]
+        assert log.durable_lsn >= 1
+
+
+class TestForceLatencyHistogram:
+    def test_latencies_under_batching(self, simulator, metrics):
+        """Three staggered requests batched into one I/O see different
+        queueing delays; the histogram must record each individually."""
+        log = make_log(simulator, metrics, 0.1,
+                       GroupCommitPolicy(group_size=3, timeout=10.0))
+        for delay in (0.0, 0.1, 0.2):
+            simulator.schedule(delay, lambda: log.write(
+                "t1", LogRecordType.COMMITTED, force=True))
+        simulator.run()
+        assert metrics.physical_ios("n1") == 1
+        latencies = sorted(d for node, d in metrics.force_latencies
+                           if node == "n1")
+        assert latencies == [pytest.approx(0.1), pytest.approx(0.2),
+                             pytest.approx(0.3)]
+
+    def test_piggyback_latency_recorded(self, simulator, metrics):
+        log = make_log(simulator, metrics, 0.5, GroupCommitPolicy(1, None))
+        log.write("t1", LogRecordType.COMMITTED, force=True)
+        simulator.schedule(0.2, lambda: log.force(None))
+        simulator.run()
+        latencies = sorted(d for node, d in metrics.force_latencies
+                           if node == "n1")
+        assert latencies == [pytest.approx(0.3), pytest.approx(0.5)]
