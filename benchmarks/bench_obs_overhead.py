@@ -57,13 +57,18 @@ SMOKE_TXNS = 120
 def run_workload(n_txns: int, tracing: bool = False,
                  profiling: bool = False, auditing: bool = False,
                  chaos_off: bool = False,
-                 journaling: bool = False) -> float:
+                 journaling: bool = False,
+                 registry: bool = False) -> float:
     """Run ``n_txns`` 3-node PA commits; return simulator events/second."""
     cluster = Cluster(PRESUMED_ABORT, nodes=["c", "s1", "s2"])
     if chaos_off:
         from repro.chaos import ChaosEngine
         ChaosEngine().install(cluster)
     tracer = SpanTracer().attach(cluster) if tracing else None
+    metrics_registry = None
+    if registry:
+        from repro.obs import MetricsRegistry
+        metrics_registry = MetricsRegistry().attach(cluster)
     recorder = None
     if journaling:
         from repro.obs import JournalRecorder
@@ -92,6 +97,10 @@ def run_workload(n_txns: int, tracing: bool = False,
     if recorder is not None:
         assert len(recorder) > 0, "journal recorder captured nothing"
         recorder.detach()
+    if metrics_registry is not None:
+        assert metrics_registry.counter_samples(), \
+            "metrics registry captured nothing"
+        metrics_registry.detach()
     return cluster.simulator.events_processed / elapsed
 
 
@@ -114,6 +123,8 @@ def measure(n_txns: int = SMOKE_TXNS, repeats: int = 3) -> dict:
                         repeats)
         journaling = best_of(lambda: run_workload(n_txns, journaling=True),
                              repeats)
+        registry = best_of(lambda: run_workload(n_txns, registry=True),
+                           repeats)
         kernel = best_of(lambda: hot_run_until(100_000), repeats)
     return {
         "tracing_off": {"eps": round(off)},
@@ -142,6 +153,14 @@ def measure(n_txns: int = SMOKE_TXNS, repeats: int = 3) -> dict:
             "ratio": round(journaling / off, 3),
             "overhead": round(off / journaling - 1.0, 3),
         },
+        # The streaming metrics registry must stay cheap enough to
+        # leave attached in live runs (repro-2pc serve attaches one
+        # unconditionally).
+        "registry_on": {
+            "eps": round(registry),
+            "ratio": round(registry / off, 3),
+            "overhead": round(off / registry - 1.0, 3),
+        },
         # Comparable to BENCH_kernel.json's hot_run_until eps: the
         # hooks-disabled kernel path with the profiler branch in place.
         "hot_run_until": {"eps": round(kernel)},
@@ -167,6 +186,38 @@ def measure_journal(n_txns: int = SMOKE_TXNS, repeats: int = 3) -> dict:
         "ratio": round(journaling / off, 3),
         "overhead": round(off / journaling - 1.0, 3),
     }
+
+
+def measure_registry(n_txns: int = SMOKE_TXNS, repeats: int = 3,
+                     pairs: int = 3) -> dict:
+    """The ``registry_on`` entry alone, at the given workload size.
+
+    Size-sensitive like ``journal_on`` (in the other direction: the
+    full-size ratio reads ~0.13 *worse* than the smoke-size one), so
+    the committed baseline is taken at the smoke size the check gate
+    measures at.
+
+    The registry's overhead is small, which makes its ratio the
+    noisiest of the observability configurations (off and registry-on
+    throughput are nearly equal, so scheduler noise dominates their
+    quotient).  To keep the committed baseline from encoding one lucky
+    run, measure ``pairs`` interleaved off/registry pairs and commit
+    the *lowest* ratio seen — the conservative end of the noise band.
+    """
+    best = None
+    with deferred_gc():
+        for _ in range(pairs):
+            off = best_of(lambda: run_workload(n_txns), repeats)
+            registry = best_of(lambda: run_workload(n_txns, registry=True),
+                               repeats)
+            entry = {
+                "eps": round(registry),
+                "ratio": round(registry / off, 3),
+                "overhead": round(off / registry - 1.0, 3),
+            }
+            if best is None or entry["ratio"] < best["ratio"]:
+                best = entry
+    return best
 
 
 # ----------------------------------------------------------------------
@@ -216,6 +267,17 @@ def test_ledger_overhead_bounded():
     assert auditing >= off * 0.5, (
         f"cost ledger costs too much: {off:,.0f} -> {auditing:,.0f} "
         f"events/s")
+
+
+def test_registry_overhead_bounded():
+    """The streaming registry is live-run furniture: labeled counter
+    updates per hook event must cost far less than full journaling."""
+    off = best_of(lambda: run_workload(SMOKE_TXNS), repeats=2)
+    registry = best_of(lambda: run_workload(SMOKE_TXNS, registry=True),
+                       repeats=2)
+    assert registry >= off * 0.5, (
+        f"metrics registry costs too much: {off:,.0f} -> "
+        f"{registry:,.0f} events/s")
 
 
 def test_journal_overhead_bounded():

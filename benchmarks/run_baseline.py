@@ -54,6 +54,7 @@ from benchmarks.bench_obs_overhead import (  # noqa: E402
     SMOKE_TXNS,
     measure as measure_obs,
     measure_journal,
+    measure_registry,
 )
 
 #: Below this live current-vs-seed churn ratio the kernel optimization
@@ -90,10 +91,13 @@ def update_baseline() -> int:
 
     print("== measuring observability overhead (full size) ==")
     obs_metrics = measure_obs(n_txns=FULL_TXNS, repeats=3)
-    # The journal ratio is size-sensitive (see measure_journal); its
-    # baseline is taken at the smoke size the check gate measures at.
+    # The journal and registry ratios are size-sensitive (see
+    # measure_journal / measure_registry); their baselines are taken at
+    # the smoke size the check gate measures at.
     obs_metrics["journal_on"] = measure_journal(n_txns=SMOKE_TXNS,
                                                 repeats=3)
+    obs_metrics["registry_on"] = measure_registry(n_txns=SMOKE_TXNS,
+                                                  repeats=3)
     obs_payload = {
         "schema": 1,
         "updated": datetime.date.today().isoformat(),
@@ -189,7 +193,7 @@ def check_obs_baseline(tolerance: float) -> int:
 
     failures = 0
     for name in ("tracing_on", "profiler_on", "ledger_on", "chaos_off",
-                 "journal_on"):
+                 "journal_on", "registry_on"):
         if name not in current:
             continue
         ratio = current[name]["ratio"]
@@ -201,7 +205,7 @@ def check_obs_baseline(tolerance: float) -> int:
             floor = recorded * (1.0 - tolerance)
             line += f" [committed ratio {recorded}, floor {floor:.3f}]"
             if name in ("tracing_on", "ledger_on", "chaos_off",
-                        "journal_on") \
+                        "journal_on", "registry_on") \
                     and ratio < floor:
                 line += "  <-- REGRESSION"
                 failures += 1

@@ -440,11 +440,19 @@ def _run_live(name: str, seed: int, txns: int, log_dir: Optional[str],
 
 
 def _run_serve(config_name: str, nodes: str, host: str, base_port: int,
-               seed: int, log_dir: Optional[str]) -> int:
-    """Serve a live cluster until interrupted (``repro-2pc serve``)."""
+               seed: int, log_dir: Optional[str],
+               admin_port: Optional[int] = 0,
+               journal_path: Optional[str] = None,
+               drain_timeout: float = 30.0) -> int:
+    """Serve a live cluster until drained (``repro-2pc serve``).
+
+    SIGTERM/SIGINT trigger a graceful drain: new ``begin`` frames are
+    refused, in-flight work finishes, the journal and WAL fsyncs are
+    flushed, and the process exits 0.
+    """
     import asyncio
 
-    from repro.transport import TWIN_PROTOCOLS, serve
+    from repro.transport import ServeControl, TWIN_PROTOCOLS, serve
 
     if config_name not in TWIN_PROTOCOLS:
         print(f"unknown protocol {config_name!r}; expected one of "
@@ -455,20 +463,92 @@ def _run_serve(config_name: str, nodes: str, host: str, base_port: int,
         print("no nodes given", file=sys.stderr)
         return 2
 
+    control = ServeControl()
+
     def ready(cluster, addresses) -> None:
         print(f"serving {config_name} cluster "
               f"({len(addresses)} nodes); send a 'begin' frame to any "
               f"node to run a transaction:")
         for node, (bound_host, port) in addresses.items():
             print(f"  {node}  {bound_host}:{port}")
+        if cluster.admin_address is not None:
+            admin_host, bound = cluster.admin_address
+            print(f"  admin plane  http://{admin_host}:{bound} "
+                  "(/metrics /status /indoubt /resolve)")
+        print("SIGTERM/SIGINT drains gracefully", flush=True)
 
     try:
         asyncio.run(serve(TWIN_PROTOCOLS[config_name], node_names,
                           host=host, base_port=base_port, seed=seed,
-                          log_dir=log_dir, ready=ready))
+                          log_dir=log_dir, ready=ready,
+                          admin_port=admin_port, control=control,
+                          drain_timeout=drain_timeout,
+                          journal_path=journal_path))
     except KeyboardInterrupt:
+        # Platforms without loop signal handlers land here; the serve
+        # body's finally block has already flushed journal and WALs.
         print("interrupted; shutting down")
+        return 0
+    print(f"drained ({control.reason or 'requested'}); journal and "
+          "WALs flushed")
     return 0
+
+
+def _run_top(connect: Optional[str], journal: Optional[str], once: bool,
+             interval: float) -> int:
+    """Terminal dashboard over the admin plane or a recorded journal."""
+    import time as _time
+
+    from repro.obs import TopSnapshot, render_top
+
+    if (connect is None) == (journal is None):
+        print("need exactly one of --connect HOST:PORT or "
+              "--journal FILE", file=sys.stderr)
+        return 2
+
+    if journal is not None:
+        from repro.obs import journal_from_jsonl
+        try:
+            with open(journal) as handle:
+                __, entries = journal_from_jsonl(handle.read())
+        except (OSError, ValueError) as error:
+            print(f"cannot load journal {journal}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(render_top(TopSnapshot.from_journal(entries)), end="")
+        return 0
+
+    import json as _json
+    from urllib.request import urlopen
+
+    host, _, port = connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"bad --connect {connect!r}; expected HOST:PORT",
+              file=sys.stderr)
+        return 2
+
+    def fetch(path: str):
+        with urlopen(f"http://{host}:{port}{path}", timeout=10) as resp:
+            return _json.loads(resp.read().decode("utf-8"))
+
+    while True:
+        try:
+            status = fetch("/status")
+            indoubt = fetch("/indoubt")
+        except OSError as error:
+            print(f"cannot reach admin plane at {connect}: {error}",
+                  file=sys.stderr)
+            return 2
+        snapshot = TopSnapshot.from_admin(status, indoubt)
+        if not once:
+            print("\033[2J\033[H", end="")   # clear screen, home cursor
+        print(render_top(snapshot), end="", flush=True)
+        if once:
+            return 0
+        try:
+            _time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _run_audit(workers: Optional[int], txns: int, zero_tolerance: bool,
@@ -800,6 +880,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--log-dir", default=None, metavar="DIR",
                        help="directory for the nodes' WAL files "
                             "(default: in-memory stable storage)")
+    serve.add_argument("--admin-port", type=int, default=0,
+                       help="admin-plane HTTP port serving /metrics, "
+                            "/status, /indoubt, /resolve (default 0 = "
+                            "ephemeral; -1 disables the admin plane)")
+    serve.add_argument("--journal", default=None, metavar="FILE",
+                       help="flush the flight-recorder journal here on "
+                            "drain (default: <log-dir>/journal.jsonl "
+                            "when --log-dir is set)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="max seconds to wait for in-flight work "
+                            "during a graceful drain (default 30)")
+
+    top = sub.add_parser(
+        "top", help="operator dashboard: in-flight/in-doubt txns, held "
+                    "locks, lock-wait burn, watchdog findings, and "
+                    "commit/abort rates — live from a serve admin "
+                    "plane or offline from a journal file")
+    top.add_argument("--connect", default=None, metavar="HOST:PORT",
+                     help="poll a running serve's admin plane")
+    top.add_argument("--journal", default=None, metavar="FILE",
+                     help="render one snapshot from a recorded journal")
+    top.add_argument("--once", action="store_true",
+                     help="print a single snapshot and exit")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh interval in seconds (default 2)")
 
     saturate = sub.add_parser(
         "saturate", help="machine-saturation benchmark: one worker per "
@@ -914,7 +1019,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                          args.json)
     if args.command == "serve":
         return _run_serve(args.config, args.nodes, args.host,
-                          args.base_port, args.seed, args.log_dir)
+                          args.base_port, args.seed, args.log_dir,
+                          admin_port=(None if args.admin_port < 0
+                                      else args.admin_port),
+                          journal_path=args.journal,
+                          drain_timeout=args.drain_timeout)
+    if args.command == "top":
+        return _run_top(args.connect, args.journal, args.once,
+                        args.interval)
     if args.command == "saturate":
         import json as json_module
         from repro.parallel.saturate import (FULL_TXNS_PER_WORKER,

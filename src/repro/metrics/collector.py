@@ -110,6 +110,12 @@ class MetricsCollector:
     ANOMALY_DIMS = ("node", "kind", "detail")
 
     def __init__(self) -> None:
+        #: Subscription hooks, fired synchronously on record.  Empty by
+        #: default (zero cost); the streaming MetricsRegistry installs
+        #: here.  ``reset()`` does not clear them — attached instruments
+        #: survive measurement-window resets like every other hook.
+        self.on_transaction: List = []
+        self.on_heuristic: List = []
         self.reset()
 
     def reset(self) -> None:
@@ -173,9 +179,13 @@ class MetricsCollector:
 
     def record_transaction(self, record: TransactionRecord) -> None:
         self.transactions.append(record)
+        for hook in self.on_transaction:
+            hook(record)
 
     def record_heuristic(self, event: HeuristicEvent) -> None:
         self.heuristics.append(event)
+        for hook in self.on_heuristic:
+            hook(event)
 
     def record_deadlock(self, victim: str,
                         cycle: Optional[List[str]] = None) -> None:

@@ -46,6 +46,9 @@ from repro.obs.journal import (JournalEntry, JournalRecorder,
                                journal_to_jsonl, normalize_txn_ids)
 from repro.obs.ledger import CostLedger, LockHold, TxnLedger
 from repro.obs.profiler import KernelProfiler
+from repro.obs.registry import (MetricFamily, MetricsRegistry,
+                                escape_label_value)
+from repro.obs.top import TopSnapshot, render_top
 from repro.obs.watchdog import (Watchdog, WatchdogFinding,
                                 prometheus_text)
 from repro.obs.report import RunReport
@@ -77,8 +80,11 @@ __all__ = [
     "KIND_PHASE",
     "KIND_TXN",
     "LockHold",
+    "MetricFamily",
+    "MetricsRegistry",
     "PHASE_OF_STATE",
     "RunReport",
+    "TopSnapshot",
     "SimTimeSeries",
     "Span",
     "SpanTracer",
@@ -88,6 +94,7 @@ __all__ = [
     "build_causal_graph",
     "build_tree",
     "diff_journals",
+    "escape_label_value",
     "expected_costs",
     "journal_from_jsonl",
     "journal_to_jsonl",
@@ -96,6 +103,7 @@ __all__ = [
     "prometheus_text",
     "record_workload_journal",
     "render_span_tree",
+    "render_top",
     "run_audit_cell",
     "run_audit_matrix",
     "run_faulty_audit_cell",

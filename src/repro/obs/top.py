@@ -1,0 +1,231 @@
+"""`repro-2pc top`: a terminal dashboard over a running (or recorded)
+cluster.
+
+One snapshot type, two sources.  :meth:`TopSnapshot.from_admin` is
+built from the admin plane's ``/status`` + ``/indoubt`` JSON — the
+live path, polled by ``repro-2pc top --connect``.  :meth:`TopSnapshot.
+from_journal` derives the same picture from a flight-recorder journal
+(``repro-2pc top --journal``), so simulated runs get the identical
+dashboard without a server.
+
+The dashboard answers the paper's operator questions at a glance:
+what is in flight, what is stuck in the in-doubt window (and holding
+which locks, for how long), where lock-wait time is burning, what the
+watchdogs flagged, and how the commit/abort split looks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.journal import SETTLED_STATES, JournalEntry
+from repro.obs.watchdog import Watchdog, WatchdogFinding
+
+_IN_DOUBT_STATE = "prepared"
+
+#: Transition refs that settle a transaction, mapped to the outcome
+#: bucket the dashboard reports.
+_OUTCOME_OF_STATE = {
+    "committed": "commit",
+    "aborted": "abort",
+    "heuristic-committed": "heuristic-commit",
+    "heuristic-aborted": "heuristic-abort",
+}
+
+
+class TopSnapshot:
+    """Everything one refresh of the dashboard shows."""
+
+    def __init__(self, source: str, at: float,
+                 outcomes: Optional[Dict[str, int]] = None,
+                 completed: int = 0, open_txns: int = 0,
+                 in_doubt: Sequence[Dict[str, object]] = (),
+                 lock_waiters: int = 0, lock_wait_count: int = 0,
+                 lock_wait_total: float = 0.0,
+                 findings: Sequence[Dict[str, object]] = (),
+                 frames: Optional[Dict[str, int]] = None,
+                 heuristics: int = 0, damaged: int = 0,
+                 accepting: bool = True,
+                 nodes: Sequence[str] = ()) -> None:
+        self.source = source
+        self.at = at
+        self.outcomes = dict(outcomes or {})
+        self.completed = completed
+        self.open_txns = open_txns
+        #: In-doubt rows as dicts (InDoubtEntry.to_dict shape: node,
+        #: txn, coordinator, in_doubt_for, held_keys, phase).
+        self.in_doubt = [dict(entry) for entry in in_doubt]
+        self.lock_waiters = lock_waiters
+        self.lock_wait_count = lock_wait_count
+        self.lock_wait_total = lock_wait_total
+        #: Watchdog findings as dicts (WatchdogFinding.to_dict shape).
+        self.findings = [dict(finding) for finding in findings]
+        self.frames = dict(frames or {})
+        self.heuristics = heuristics
+        self.damaged = damaged
+        self.accepting = accepting
+        self.nodes = list(nodes)
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_admin(cls, status: Dict[str, object],
+                   indoubt: Sequence[Dict[str, object]]) -> "TopSnapshot":
+        """Build from the admin plane's ``/status`` and ``/indoubt``."""
+        txns = status.get("transactions") or {}
+        heur = status.get("heuristics") or {}
+        watchdog = status.get("watchdog") or {}
+        nodes = status.get("nodes")
+        node_names = (sorted(nodes) if isinstance(nodes, dict)
+                      else list(nodes or []))
+        return cls(
+            source="admin",
+            at=float(status.get("uptime", 0.0)),
+            outcomes=dict(txns.get("outcomes") or {}),
+            completed=int(txns.get("completed", 0)),
+            open_txns=int(txns.get("open", 0)),
+            in_doubt=list(indoubt),
+            findings=list(watchdog.get("details") or []),
+            frames=dict(status.get("frames") or {}),
+            heuristics=int(heur.get("total", 0)),
+            damaged=int(heur.get("damaged", 0)),
+            accepting=bool(status.get("accepting", True)),
+            nodes=node_names,
+        )
+
+    @classmethod
+    def from_journal(cls, entries: Sequence[JournalEntry],
+                     watchdog: Optional[Watchdog] = None
+                     ) -> "TopSnapshot":
+        """Derive the dashboard from a flight-recorder journal."""
+        entries = list(entries)
+        end = max((e.t for e in entries), default=0.0)
+        last_state: Dict[Tuple[str, str], JournalEntry] = {}
+        prepared_at: Dict[Tuple[str, str], float] = {}
+        outcome_of: Dict[str, str] = {}
+        held: Dict[Tuple[str, str], List[str]] = {}
+        waiting: Dict[Tuple[str, str, str], float] = {}
+        wait_count = 0
+        wait_total = 0.0
+        nodes: set = set()
+        frames = {"sent": 0, "received": 0}
+        for entry in entries:
+            nodes.add(entry.node)
+            if entry.kind == "transition" and entry.txn is not None:
+                key = (entry.txn, entry.node)
+                last_state[key] = entry
+                if entry.ref == _IN_DOUBT_STATE:
+                    prepared_at.setdefault(key, entry.t)
+                else:
+                    prepared_at.pop(key, None)
+                outcome = _OUTCOME_OF_STATE.get(entry.ref or "")
+                if outcome is not None and entry.txn not in outcome_of:
+                    outcome_of[entry.txn] = outcome
+            elif entry.kind == "send":
+                frames["sent"] += 1
+            elif entry.kind == "deliver":
+                frames["received"] += 1
+            elif entry.kind == "grant" and entry.txn is not None:
+                held.setdefault((entry.node, entry.txn),
+                                []).append(entry.ref)
+                start = waiting.pop((entry.node, entry.txn, entry.ref),
+                                    None)
+                if start is not None:
+                    wait_count += 1
+                    wait_total += entry.t - start
+            elif entry.kind == "wait" and entry.txn is not None:
+                waiting.setdefault((entry.node, entry.txn, entry.ref),
+                                   entry.t)
+            elif entry.kind == "release" and entry.txn is not None:
+                keys = held.get((entry.node, entry.txn))
+                if keys and entry.ref in keys:
+                    keys.remove(entry.ref)
+
+        outcomes: Dict[str, int] = {}
+        for outcome in outcome_of.values():
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        open_pairs = [key for key, entry in last_state.items()
+                      if entry.ref not in SETTLED_STATES]
+        in_doubt = []
+        for (txn, node), since in sorted(prepared_at.items()):
+            keys = sorted(held.get((node, txn), []))
+            in_doubt.append({
+                "node": node, "txn": txn, "coordinator": None,
+                "in_doubt_for": round(end - since, 6),
+                "held_keys": keys, "phase": _IN_DOUBT_STATE,
+            })
+        findings = (watchdog or Watchdog()).scan(entries, end_time=end)
+        return cls(
+            source="journal", at=end, outcomes=outcomes,
+            completed=len(outcome_of), open_txns=len(open_pairs),
+            in_doubt=in_doubt, lock_waiters=len(waiting),
+            lock_wait_count=wait_count, lock_wait_total=wait_total,
+            findings=[f.to_dict() for f in findings],
+            frames=frames, accepting=True,
+            heuristics=sum(1 for o in outcome_of.values()
+                           if o.startswith("heuristic")),
+            nodes=sorted(nodes),
+        )
+
+
+def render_top(snapshot: TopSnapshot, width: int = 78,
+               max_rows: int = 10) -> str:
+    """Render one snapshot as the ``repro-2pc top`` screen."""
+    lines: List[str] = []
+    rule = "-" * width
+
+    state = "accepting" if snapshot.accepting else "DRAINING"
+    lines.append(f"repro-2pc top · {snapshot.source} · "
+                 f"t={snapshot.at:g} · {state}")
+    if snapshot.nodes:
+        lines.append(f"nodes: {', '.join(snapshot.nodes)}")
+    lines.append(rule)
+
+    rate = (snapshot.completed / snapshot.at
+            if snapshot.at > 0 else 0.0)
+    outcome_bits = [f"{name}={count}" for name, count
+                    in sorted(snapshot.outcomes.items())]
+    lines.append(f"txns: {snapshot.completed} done "
+                 f"({', '.join(outcome_bits) or 'none'}) · "
+                 f"{snapshot.open_txns} open · {rate:.2f}/s")
+    lines.append(f"heuristics: {snapshot.heuristics} taken, "
+                 f"{snapshot.damaged} damaged · frames: "
+                 f"{snapshot.frames.get('sent', 0)} sent / "
+                 f"{snapshot.frames.get('received', 0)} received")
+    mean_wait = (snapshot.lock_wait_total / snapshot.lock_wait_count
+                 if snapshot.lock_wait_count else 0.0)
+    lines.append(f"lock-wait burn: {snapshot.lock_wait_total:g} total "
+                 f"over {snapshot.lock_wait_count} grants "
+                 f"(mean {mean_wait:g}) · {snapshot.lock_waiters} "
+                 "still waiting")
+    lines.append(rule)
+
+    lines.append(f"in-doubt ({len(snapshot.in_doubt)}):")
+    if not snapshot.in_doubt:
+        lines.append("  (none)")
+    for row in snapshot.in_doubt[:max_rows]:
+        keys = ", ".join(row.get("held_keys") or []) or "-"
+        coord = row.get("coordinator") or "?"
+        lines.append(f"  {row.get('txn')}@{row.get('node')} "
+                     f"[{row.get('phase', _IN_DOUBT_STATE)}] "
+                     f"coord={coord} "
+                     f"for={float(row.get('in_doubt_for', 0.0)):g} "
+                     f"holding [{keys}]")
+    if len(snapshot.in_doubt) > max_rows:
+        lines.append(f"  ... and {len(snapshot.in_doubt) - max_rows} "
+                     "more")
+    lines.append(rule)
+
+    lines.append(f"watchdog findings ({len(snapshot.findings)}):")
+    if not snapshot.findings:
+        lines.append("  (none)")
+    for row in snapshot.findings[:max_rows]:
+        where = (f"txn {row.get('txn')} @ {row.get('node')}"
+                 if row.get("txn") else str(row.get("node")))
+        lines.append(f"  [{row.get('detector')}] {where}: "
+                     f"{row.get('message')}")
+    if len(snapshot.findings) > max_rows:
+        lines.append(f"  ... and {len(snapshot.findings) - max_rows} "
+                     "more")
+    return "\n".join(lines) + "\n"

@@ -11,9 +11,8 @@ commit/abort (the CICS ``CEMT``-style verb), and kick recovery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.core.cluster import Cluster
 from repro.core.states import TxnState
 from repro.errors import ConfigurationError, ProtocolError
 from repro.metrics.collector import HeuristicEvent
@@ -28,6 +27,7 @@ class InDoubtEntry:
     coordinator: Optional[str]
     in_doubt_for: float          # virtual time spent in the window
     held_keys: List[str]
+    phase: str = "prepared"      # protocol state holding the window open
 
     def __str__(self) -> str:
         keys = ", ".join(self.held_keys) or "-"
@@ -35,11 +35,32 @@ class InDoubtEntry:
                 f"{self.coordinator or '?'}): in doubt for "
                 f"{self.in_doubt_for:.1f}, holding [{keys}]")
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"node": self.node, "txn": self.txn_id,
+                "coordinator": self.coordinator,
+                "in_doubt_for": round(self.in_doubt_for, 6),
+                "held_keys": list(self.held_keys), "phase": self.phase}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InDoubtEntry":
+        return cls(node=data["node"], txn_id=data["txn"],
+                   coordinator=data.get("coordinator"),
+                   in_doubt_for=float(data.get("in_doubt_for", 0.0)),
+                   held_keys=list(data.get("held_keys") or []),
+                   phase=data.get("phase", "prepared"))
+
 
 class OperatorConsole:
-    """Inspect and intervene in one cluster's transaction state."""
+    """Inspect and intervene in one cluster's transaction state.
 
-    def __init__(self, cluster: Cluster) -> None:
+    ``cluster`` is anything exposing the shared cluster surface
+    (``simulator`` / ``nodes`` / ``metrics``) — the simulated
+    :class:`~repro.core.cluster.Cluster` or the live
+    :class:`~repro.transport.live.LiveCluster`; the admin plane
+    serves this console's verbs over HTTP for the latter.
+    """
+
+    def __init__(self, cluster) -> None:
         self.cluster = cluster
 
     # ------------------------------------------------------------------
@@ -70,7 +91,8 @@ class OperatorConsole:
                 entries.append(InDoubtEntry(
                     node=name, txn_id=context.txn_id,
                     coordinator=context.parent,
-                    in_doubt_for=now - since, held_keys=held))
+                    in_doubt_for=now - since, held_keys=held,
+                    phase=context.state.value))
         return entries
 
     def damage_report(self) -> List[HeuristicEvent]:

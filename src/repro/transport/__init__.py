@@ -10,8 +10,10 @@ oracle (:mod:`repro.transport.twin`) that proves a live run causally
 equivalent to its deterministic replay.  See ``docs/DEPLOYMENT.md``.
 """
 
+from repro.transport.admin import AdminServer
 from repro.transport.clock import ActivityTracker, LiveClock, ScheduledCall
-from repro.transport.live import LiveCluster, LiveNetwork, serve
+from repro.transport.live import (LiveCluster, LiveNetwork, ServeControl,
+                                  serve)
 from repro.transport.storage import FileStableStorage, load_records
 from repro.transport.tcp import TcpTransport
 from repro.transport.twin import (DEFAULT_NODES, TWIN_PROTOCOLS,
@@ -22,10 +24,12 @@ from repro.transport.twin import (DEFAULT_NODES, TWIN_PROTOCOLS,
 
 __all__ = [
     "ActivityTracker",
+    "AdminServer",
     "LiveClock",
     "ScheduledCall",
     "LiveCluster",
     "LiveNetwork",
+    "ServeControl",
     "serve",
     "FileStableStorage",
     "load_records",

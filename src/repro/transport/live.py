@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import signal
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
 from repro.core.config import PRESUMED_ABORT, ProtocolConfig
@@ -96,6 +97,11 @@ class LiveCluster:
         self.host = host
         self.base_port = base_port
         self.log_dir = log_dir
+        #: Flipped off during a graceful drain: ``begin`` control
+        #: frames are refused while in-flight work runs to completion.
+        self.accepting = True
+        #: Filled by ``serve`` when an admin plane is bound.
+        self.admin_address: Optional[tuple] = None
         self.activity = ActivityTracker()
         self.simulator = LiveClock(seed=seed, activity=self.activity)
         self.metrics = MetricsCollector()
@@ -148,6 +154,12 @@ class LiveCluster:
         elif kind == "begin":
             # Control plane: an external client asks this node to run a
             # transaction; the outcome is reported on the same stream.
+            if not self.accepting:
+                writer.write(encode_frame({
+                    "kind": "error", "error": "draining",
+                    "detail": "server is draining; not accepting new "
+                              "transactions"}))
+                return
             spec = spec_from_wire(obj["spec"])
             handle = self.start_transaction(spec)
             handle.on_done(lambda h: writer.write(encode_frame({
@@ -239,25 +251,115 @@ class LiveCluster:
         return counts
 
 
+class ServeControl:
+    """Handle into a running ``serve``: request a drain, await it.
+
+    The SIGTERM/SIGINT handlers call :meth:`request_drain`; tests (and
+    embedding code) can call it directly instead of raising a signal.
+    """
+
+    def __init__(self) -> None:
+        self._drain = asyncio.Event()
+        self.reason: Optional[str] = None
+
+    def request_drain(self, reason: str = "requested") -> None:
+        if not self._drain.is_set():
+            self.reason = reason
+            self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    async def wait_drain(self) -> None:
+        await self._drain.wait()
+
+
 async def serve(config: ProtocolConfig, nodes: Iterable[str],
                 host: str = "127.0.0.1", base_port: int = 0, seed: int = 0,
                 log_dir: Optional[str] = None,
-                ready: Optional[Callable] = None) -> None:
-    """Run a live cluster until cancelled (the ``repro-2pc serve`` body).
+                ready: Optional[Callable] = None,
+                admin_host: str = "127.0.0.1",
+                admin_port: Optional[int] = 0,
+                control: Optional[ServeControl] = None,
+                drain_timeout: float = 30.0,
+                journal_path: Optional[str] = None) -> None:
+    """Run a live cluster until drained (the ``repro-2pc serve`` body).
+
+    The full operations plane attaches before traffic starts: a
+    streaming :class:`~repro.obs.registry.MetricsRegistry`, the
+    flight-recorder :class:`~repro.obs.journal.JournalRecorder`, a
+    :class:`~repro.obs.watchdog.Watchdog` re-scanned continuously by
+    the :class:`~repro.transport.admin.AdminServer` (bound on
+    ``admin_host:admin_port`` unless ``admin_port`` is None), and an
+    :class:`~repro.ops.OperatorConsole` whose heuristic verbs the
+    admin plane serves on ``/resolve``.
+
+    SIGTERM/SIGINT trigger a graceful drain instead of killing the
+    process mid-fsync: stop accepting ``begin`` frames, wait (up to
+    ``drain_timeout``) for tracked work to finish, flush the journal
+    to ``journal_path`` (defaults to ``<log_dir>/journal.jsonl`` when
+    ``log_dir`` is set), close the WALs, and return — the CLI exits 0.
 
     ``ready(cluster, addresses)`` is called once the mesh is up —
     the CLI prints the node addresses there; tests grab the ports.
+    ``cluster.admin_address`` carries the bound admin endpoint.
     """
     from repro.obs.journal import JournalRecorder
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.watchdog import Watchdog
+    from repro.ops import OperatorConsole
+    from repro.transport.admin import AdminServer
 
     cluster = LiveCluster(config, nodes=list(nodes), seed=seed,
                           host=host, base_port=base_port, log_dir=log_dir)
+    registry = MetricsRegistry().attach(cluster)
     recorder = JournalRecorder().attach(cluster)
+    watchdog = Watchdog()
+    console = OperatorConsole(cluster)
+    admin = AdminServer(cluster, registry=registry, recorder=recorder,
+                        watchdog=watchdog, console=console)
+    control = control or ServeControl()
     addresses = await cluster.start()
+    if admin_port is not None:
+        cluster.admin_address = await admin.start(admin_host, admin_port)
+
+    loop = asyncio.get_running_loop()
+    installed_signals = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(
+                signum, control.request_drain, signal.Signals(signum).name)
+            installed_signals.append(signum)
+        except (NotImplementedError, RuntimeError):
+            # Platforms/loops without signal support (or non-main
+            # threads): the KeyboardInterrupt path in the CLI remains.
+            break
+
     if ready is not None:
         ready(cluster, addresses)
     try:
-        await asyncio.Event().wait()
+        await control.wait_drain()
+        cluster.accepting = False
+        try:
+            await cluster.wait_quiescent(timeout=drain_timeout)
+        except asyncio.TimeoutError:
+            pass  # drain is best-effort; flush whatever we have
     finally:
+        for signum in installed_signals:
+            loop.remove_signal_handler(signum)
+        await admin.stop()
         recorder.detach()
+        registry.detach()
+        watchdog.detach()
+        path = journal_path
+        if path is None and log_dir is not None:
+            path = os.path.join(log_dir, "journal.jsonl")
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(recorder.to_jsonl(meta={
+                    "protocol": config.presumption.value,
+                    "nodes": sorted(cluster.nodes),
+                    "drain_reason": control.reason,
+                }))
         await cluster.stop()

@@ -37,6 +37,8 @@ from repro.net.message import Message
 from repro.net.network import Network
 from repro.obs.diff import Divergence, diff_journals
 from repro.obs.journal import JournalEntry, JournalRecorder
+from repro.obs.registry import MetricsRegistry
+from repro.obs.watchdog import Watchdog
 from repro.sim.randomness import RandomStream
 from repro.transport.live import LiveCluster
 from repro.verify.checker import ProtocolChecker
@@ -134,6 +136,9 @@ class RunCapture:
     fsyncs: Dict[str, int] = field(default_factory=dict)
     forced_writes: Dict[str, int] = field(default_factory=dict)
     unmatched: List[DeliveryKey] = field(default_factory=list)
+    #: Streaming-registry counter series (gauges/histograms carry
+    #: clock-dependent durations and are excluded from the twin).
+    registry_counters: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -151,19 +156,21 @@ class TwinReport:
     unmatched_sends: List[DeliveryKey]
     live_entries: int
     sim_entries: int
+    registry_mismatches: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
         return (self.divergence is None and not self.outcome_mismatches
                 and not self.verdict_mismatches and not self.cost_mismatches
-                and not self.fsync_mismatches and not self.unmatched_sends)
+                and not self.fsync_mismatches and not self.unmatched_sends
+                and not self.registry_mismatches)
 
     def describe(self) -> str:
         if self.clean:
             return (f"{self.protocol}: twin clean — {self.txns} txns, "
                     f"{self.live_entries} journal entries causally "
-                    f"equivalent, costs and verdicts identical, every "
-                    f"physical log I/O one real fsync")
+                    f"equivalent, costs, verdicts and registry counters "
+                    f"identical, every physical log I/O one real fsync")
         lines = [f"{self.protocol}: TWIN DIVERGED"]
         if self.divergence is not None:
             lines.append(self.divergence.describe())
@@ -171,6 +178,7 @@ class TwinReport:
         lines.extend(self.verdict_mismatches)
         lines.extend(self.cost_mismatches)
         lines.extend(self.fsync_mismatches)
+        lines.extend(self.registry_mismatches)
         if self.unmatched_sends:
             lines.append(f"unmatched replay sends: {self.unmatched_sends}")
         return "\n".join(lines)
@@ -187,6 +195,7 @@ class TwinReport:
             "verdict_mismatches": self.verdict_mismatches,
             "cost_mismatches": self.cost_mismatches,
             "fsync_mismatches": self.fsync_mismatches,
+            "registry_mismatches": self.registry_mismatches,
             "unmatched_sends": [list(k) for k in self.unmatched_sends],
             "live_entries": self.live_entries,
             "sim_entries": self.sim_entries,
@@ -201,11 +210,21 @@ async def _run_live(config: ProtocolConfig, seed: int, txns: int,
                     log_dir: Optional[str]) -> RunCapture:
     # Live log I/O completes on the next loop turn; the real cost is the
     # fsync itself, not a simulated seek.
+    from repro.ops import OperatorConsole
+    from repro.transport.admin import AdminServer
+
     cluster = LiveCluster(config.with_options(io_latency=0.0),
                           nodes=list(nodes), seed=seed, log_dir=log_dir)
     recorder = JournalRecorder().attach(cluster)
+    registry = MetricsRegistry().attach(cluster)
     checker = ProtocolChecker().attach(cluster)
+    # The full admin plane rides along: the twin proves that serving
+    # /metrics and rescanning watchdogs does not perturb the run.
+    admin = AdminServer(cluster, registry=registry, recorder=recorder,
+                        watchdog=Watchdog(),
+                        console=OperatorConsole(cluster))
     await cluster.start()
+    await admin.start()
     outcomes: Dict[str, Optional[str]] = {}
     try:
         for spec in twin_specs(seed, txns, nodes):
@@ -213,8 +232,10 @@ async def _run_live(config: ProtocolConfig, seed: int, txns: int,
             outcomes[spec.txn_id] = handle.outcome
             checker.check_atomicity(spec.txn_id)
     finally:
+        await admin.stop()
         await cluster.stop()
     recorder.detach()
+    registry.detach()
     checker.detach()
     txn_ids = list(outcomes)
     return RunCapture(
@@ -227,6 +248,7 @@ async def _run_live(config: ProtocolConfig, seed: int, txns: int,
         fsyncs=cluster.fsync_counts(),
         forced_writes={n: cluster.metrics.forced_log_writes(node=n)
                        for n in cluster.nodes},
+        registry_counters=registry.counter_samples(),
     )
 
 
@@ -240,6 +262,7 @@ def _run_replay(config: ProtocolConfig, seed: int, txns: int,
                       network_class=ScheduledNetwork)
     cluster.network.load_schedule(schedule)
     recorder = JournalRecorder().attach(cluster)
+    registry = MetricsRegistry().attach(cluster)
     checker = ProtocolChecker().attach(cluster)
     outcomes: Dict[str, Optional[str]] = {}
     for spec in twin_specs(seed, txns, nodes):
@@ -247,6 +270,7 @@ def _run_replay(config: ProtocolConfig, seed: int, txns: int,
         outcomes[spec.txn_id] = handle.outcome
         checker.check_atomicity(spec.txn_id)
     recorder.detach()
+    registry.detach()
     checker.detach()
     txn_ids = list(outcomes)
     return RunCapture(
@@ -257,6 +281,7 @@ def _run_replay(config: ProtocolConfig, seed: int, txns: int,
         physical_ios={n: cluster.metrics.physical_ios(n)
                       for n in cluster.nodes},
         unmatched=list(cluster.network.unmatched),
+        registry_counters=registry.counter_samples(),
     )
 
 
@@ -308,6 +333,13 @@ def run_twin_check(protocol: str, seed: int = 11, txns: int = 6,
         f"cost[{t}]: live={live.costs.get(t)} sim={sim.costs.get(t)}"
         for t in sorted(set(live.costs) | set(sim.costs))
         if live.costs.get(t) != sim.costs.get(t)]
+    registry_mismatches = [
+        f"registry[{series}]: live={live.registry_counters.get(series)} "
+        f"sim={sim.registry_counters.get(series)}"
+        for series in sorted(set(live.registry_counters)
+                             | set(sim.registry_counters))
+        if live.registry_counters.get(series, 0.0)
+        != sim.registry_counters.get(series, 0.0)]
 
     fsync_mismatches = []
     for node, fsyncs in sorted(live.fsyncs.items()):
@@ -334,6 +366,7 @@ def run_twin_check(protocol: str, seed: int = 11, txns: int = 6,
         unmatched_sends=sim.unmatched,
         live_entries=len(live.entries),
         sim_entries=len(sim.entries),
+        registry_mismatches=registry_mismatches,
     )
 
 

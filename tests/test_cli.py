@@ -75,6 +75,36 @@ def test_list_profiles(capsys):
     assert "travel-booking" in out
 
 
+def test_top_once_over_journal(capsys, tmp_path):
+    journal = tmp_path / "basic.jsonl"
+    code, out, __ = run_cli(capsys, "journal", "basic", "--out",
+                            str(journal), "--txns", "3")
+    assert code == 0 and journal.exists()
+    code, out, __ = run_cli(capsys, "top", "--once", "--journal",
+                            str(journal))
+    assert code == 0
+    assert "repro-2pc top · journal" in out
+    assert "commit" in out
+    assert "watchdog findings (0)" in out
+
+
+def test_top_requires_exactly_one_source(capsys, tmp_path):
+    code, __, err = run_cli(capsys, "top", "--once")
+    assert code == 2 and "exactly one" in err
+    code, __, err = run_cli(capsys, "top", "--once", "--connect",
+                            "h:1", "--journal", str(tmp_path / "x"))
+    assert code == 2 and "exactly one" in err
+
+
+def test_top_bad_inputs(capsys, tmp_path):
+    code, __, err = run_cli(capsys, "top", "--once", "--journal",
+                            str(tmp_path / "missing.jsonl"))
+    assert code == 2 and "cannot load journal" in err
+    code, __, err = run_cli(capsys, "top", "--once", "--connect",
+                            "no-port-here")
+    assert code == 2 and "expected HOST:PORT" in err
+
+
 def test_parser_rejects_bad_table():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["table", "9"])

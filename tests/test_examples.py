@@ -1,0 +1,49 @@
+"""Examples smoke test: the runnable walkthroughs must stay runnable.
+
+Each example is executed as a real subprocess (the way a reader would
+run it) with ``src`` on ``PYTHONPATH``; it must exit 0 and produce the
+output its narrative promises.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, env=env, timeout=120)
+
+
+def test_quickstart_runs_clean():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "outcome: commit" in result.stdout
+    assert "commit-protocol cost" in result.stdout
+
+
+def test_operator_console_runs_clean():
+    result = run_example("operator_console.py")
+    assert result.returncode == 0, result.stderr
+    assert "in doubt" in result.stdout
+    assert "heuristic" in result.stdout.lower()
+
+
+@pytest.mark.parametrize("name", sorted(
+    path.name for path in EXAMPLES.glob("*.py")))
+def test_every_example_exits_zero(name):
+    result = run_example(name)
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{name} printed nothing"
