@@ -308,10 +308,11 @@ def run_twin_gate() -> int:
     and cost triples, and every counted physical log I/O must be one
     real fsync — no tolerance.  Skips (cleanly) only when the sandbox
     has no loopback networking."""
-    from repro.transport import loopback_available, run_twin_matrix
+    from repro.transport import loopback_status, run_twin_matrix
     print("== live TCP deployment twin (live run -> sim replay -> diff) ==")
-    if not loopback_available():
-        print("  SKIPPED: loopback networking unavailable in this sandbox")
+    available, reason = loopback_status()
+    if not available:
+        print(f"  SKIPPED: loopback networking unavailable ({reason})")
         return 0
     failures = 0
     for protocol, report in run_twin_matrix(seed=11, txns=6).items():
@@ -323,6 +324,28 @@ def run_twin_gate() -> int:
                   file=sys.stderr)
             failures += 1
     return failures
+
+
+def run_live_torture_gate() -> int:
+    """Live crash-restart survival gate: kill real nodes at the
+    coordinator/subordinate decision- and vote-force sites (plus
+    mid-checkpoint), restart them from their WALs after a real outage,
+    and require every cell to settle with checker rules clean, zero
+    stranded in-doubt transactions and fsync accounting intact.  The
+    no-fault control cells run the full deployment twin, so their
+    live-vs-replay journal diff must be empty.  No tolerance; skips
+    (with the classified reason) only when the sandbox has no
+    loopback networking."""
+    from repro.transport import loopback_status, run_live_torture
+    print("== live crash-restart torture (kill -> WAL restart -> "
+          "settle) ==")
+    available, reason = loopback_status()
+    if not available:
+        print(f"  SKIPPED: loopback networking unavailable ({reason})")
+        return 0
+    report = run_live_torture()
+    print(report.describe())
+    return 0 if report.clean else 1
 
 
 def run_torture_matrix() -> int:
@@ -380,6 +403,13 @@ def main(argv=None) -> int:
                              "journal -> sim replay -> diff must be "
                              "empty with identical verdicts and cost "
                              "triples")
+    parser.add_argument("--live-torture", action="store_true",
+                        help="also run the live crash-restart torture "
+                             "sweep (repro-2pc live-torture): kill "
+                             "nodes at decision/vote/checkpoint force "
+                             "sites on real sockets, restart from WAL, "
+                             "require clean settlement — zero "
+                             "tolerance")
     parser.add_argument("--skip-tests", action="store_true",
                         help="skip the tier-1 suite")
     parser.add_argument("--tolerance", type=float,
@@ -418,6 +448,12 @@ def main(argv=None) -> int:
         status = run_twin_gate()
         if status:
             print("deployment twin diverged from its sim replay",
+                  file=sys.stderr)
+            return status
+    if args.live_torture:
+        status = run_live_torture_gate()
+        if status:
+            print("live torture sweep left unrecovered cells",
                   file=sys.stderr)
             return status
     if args.update:

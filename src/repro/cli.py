@@ -413,11 +413,12 @@ def _run_live(name: str, seed: int, txns: int, log_dir: Optional[str],
     """
     import json as _json
 
-    from repro.transport import (TWIN_PROTOCOLS, loopback_available,
+    from repro.transport import (TWIN_PROTOCOLS, loopback_status,
                                  run_twin_check, run_twin_matrix)
 
-    if not loopback_available():
-        print("loopback networking unavailable in this sandbox; "
+    available, reason = loopback_status()
+    if not available:
+        print(f"loopback networking unavailable ({reason}); "
               "cannot run live", file=sys.stderr)
         return 2
     if name == "all":
@@ -439,11 +440,56 @@ def _run_live(name: str, seed: int, txns: int, log_dir: Optional[str],
     return 0 if clean else 1
 
 
+def _run_live_torture(seed: int, txns: int, protocols: Optional[str],
+                      sites: Optional[str], outage: float,
+                      as_json: bool) -> int:
+    """Sweep live crash sites and require full recovery
+    (``repro-2pc live-torture``).  Exit 0 only when every cell settles
+    with checker rules clean, zero stranded in-doubt transactions and
+    fsync accounting intact."""
+    import json as _json
+
+    from repro.transport import (SITES, TWIN_PROTOCOLS, loopback_status,
+                                 run_live_torture)
+
+    available, reason = loopback_status()
+    if not available:
+        print(f"loopback networking unavailable ({reason}); "
+              "cannot run live-torture", file=sys.stderr)
+        return 2
+    chosen_protocols = None
+    if protocols is not None:
+        chosen_protocols = [p.strip() for p in protocols.split(",")
+                            if p.strip()]
+        unknown = [p for p in chosen_protocols if p not in TWIN_PROTOCOLS]
+        if unknown:
+            print(f"unknown protocol(s) {', '.join(unknown)}; expected "
+                  f"{', '.join(TWIN_PROTOCOLS)}", file=sys.stderr)
+            return 2
+    chosen_sites = None
+    if sites is not None:
+        chosen_sites = [s.strip() for s in sites.split(",") if s.strip()]
+        unknown = [s for s in chosen_sites if s not in SITES]
+        if unknown:
+            print(f"unknown site(s) {', '.join(unknown)}; expected "
+                  f"{', '.join(SITES)}", file=sys.stderr)
+            return 2
+    report = run_live_torture(seed=seed, txns=txns,
+                              protocols=chosen_protocols,
+                              sites=chosen_sites, outage=outage)
+    if as_json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0 if report.clean else 1
+
+
 def _run_serve(config_name: str, nodes: str, host: str, base_port: int,
                seed: int, log_dir: Optional[str],
                admin_port: Optional[int] = 0,
                journal_path: Optional[str] = None,
-               drain_timeout: float = 30.0) -> int:
+               drain_timeout: float = 30.0,
+               checkpoint_interval: Optional[float] = None) -> int:
     """Serve a live cluster until drained (``repro-2pc serve``).
 
     SIGTERM/SIGINT trigger a graceful drain: new ``begin`` frames are
@@ -483,7 +529,8 @@ def _run_serve(config_name: str, nodes: str, host: str, base_port: int,
                           log_dir=log_dir, ready=ready,
                           admin_port=admin_port, control=control,
                           drain_timeout=drain_timeout,
-                          journal_path=journal_path))
+                          journal_path=journal_path,
+                          checkpoint_interval=checkpoint_interval))
     except KeyboardInterrupt:
         # Platforms without loop signal handlers land here; the serve
         # body's finally block has already flushed journal and WALs.
@@ -891,6 +938,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="max seconds to wait for in-flight work "
                             "during a graceful drain (default 30)")
+    serve.add_argument("--checkpoint-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="force a CHECKPOINT record on every node "
+                            "this often and compact its WAL past it "
+                            "(default: no periodic checkpoints)")
+
+    live_torture = sub.add_parser(
+        "live-torture", help="kill and WAL-restart live nodes at the "
+                             "paper's crash sites (coordinator pre/post "
+                             "decision, subordinate pre/post vote, "
+                             "mid-checkpoint) across every protocol; "
+                             "exit 0 only if every cell recovers with "
+                             "checker rules clean, no stranded in-doubt "
+                             "txns and fsync accounting intact")
+    live_torture.add_argument("--seed", type=int, default=17,
+                              help="workload seed (default 17)")
+    live_torture.add_argument("--txns", type=int, default=3,
+                              help="transactions per cell (default 3)")
+    live_torture.add_argument("--protocols", default=None,
+                              help="comma-separated protocol subset "
+                                   "(default: all four)")
+    live_torture.add_argument("--sites", default=None,
+                              help="comma-separated crash-site subset "
+                                   "(default: all, incl. the no-fault "
+                                   "twin-checked control)")
+    live_torture.add_argument("--outage", type=float, default=0.05,
+                              help="seconds a killed node stays down "
+                                   "before its WAL restart (default "
+                                   "0.05)")
+    live_torture.add_argument("--json", action="store_true",
+                              help="emit the report as JSON")
 
     top = sub.add_parser(
         "top", help="operator dashboard: in-flight/in-doubt txns, held "
@@ -1023,7 +1101,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                           admin_port=(None if args.admin_port < 0
                                       else args.admin_port),
                           journal_path=args.journal,
-                          drain_timeout=args.drain_timeout)
+                          drain_timeout=args.drain_timeout,
+                          checkpoint_interval=args.checkpoint_interval)
+    if args.command == "live-torture":
+        return _run_live_torture(args.seed, args.txns, args.protocols,
+                                 args.sites, args.outage, args.json)
     if args.command == "top":
         return _run_top(args.connect, args.journal, args.once,
                         args.interval)

@@ -20,7 +20,7 @@ suffix after it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.log.records import LogRecord, LogRecordType
 
@@ -100,8 +100,16 @@ def build_checkpoint_payload(node: "TMNode") -> Dict[str, Any]:
     return {"stores": stores, "carried": carried}
 
 
-def take_checkpoint(node: "TMNode") -> LogRecord:
-    """Write (and force) a checkpoint record on a live node."""
+def take_checkpoint(node: "TMNode",
+                    on_durable: Optional[Callable[[], None]] = None
+                    ) -> LogRecord:
+    """Write (and force) a checkpoint record on a live node.
+
+    ``on_durable`` runs once the checkpoint record has hardened — the
+    live WAL hooks log compaction there, so truncation can never
+    outrun the checkpoint it depends on.
+    """
     payload = build_checkpoint_payload(node)
     return node.log.write(CHECKPOINT_TXN, LogRecordType.CHECKPOINT,
-                          payload=payload, force=True)
+                          payload=payload, force=True,
+                          on_durable=on_durable)

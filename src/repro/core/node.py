@@ -19,6 +19,7 @@ crash/restart entry points.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -35,7 +36,7 @@ from repro.errors import ProtocolError
 from repro.log.manager import LogManager
 from repro.log.records import LogRecordType
 from repro.lrm.resource_manager import ResourceManager
-from repro.metrics.collector import MetricsCollector
+from repro.metrics.collector import MetricsCollector, RecoveryRecord
 from repro.net.message import Message, MessageType, Phase
 from repro.net.network import Network
 from repro.sim.kernel import Simulator
@@ -92,10 +93,11 @@ class TMNode(VotingMixin, DecisionMixin, HeuristicMixin, RecoveryMixin):
         self.crash_count = 0
         network.register(name, self.receive, alive=lambda: self.alive)
 
-    def take_checkpoint(self) -> None:
+    def take_checkpoint(
+            self, on_durable: Optional[Callable[[], None]] = None) -> None:
         """Write a forced fuzzy checkpoint (bounds future restarts)."""
         from repro.core.checkpoint import take_checkpoint
-        take_checkpoint(self)
+        take_checkpoint(self, on_durable=on_durable)
 
     # ------------------------------------------------------------------
     # Resource managers
@@ -436,12 +438,27 @@ class TMNode(VotingMixin, DecisionMixin, HeuristicMixin, RecoveryMixin):
         self.note("-", "CRASH")
 
     def restart(self) -> None:
-        """Come back up and run restart recovery from the stable log."""
+        """Come back up and run restart recovery from the stable log.
+
+        Recovery wall-time and the replayed-record count feed the
+        metrics collector — RTO is a first-class observable (report
+        distribution, ``repro_recovery_seconds`` histogram, admin
+        ``/status``).  Wall-time is real time even in simulation; only
+        the twin-excluded duration metrics see it, so determinism of
+        counter comparisons is untouched.
+        """
         if self.alive:
             raise ProtocolError(f"{self.name} is not crashed")
         self.alive = True
         self.note("-", "RESTART")
+        started = time.perf_counter()
         self.run_restart_recovery()
+        self.metrics.record_recovery(RecoveryRecord(
+            node=self.name,
+            seconds=time.perf_counter() - started,
+            records_replayed=self.last_recovery_scan,
+            at_time=self.simulator.now,
+            crash_count=self.crash_count))
 
     # ------------------------------------------------------------------
     # Tracing

@@ -49,6 +49,27 @@ class HeuristicEvent:
 
 
 @dataclass
+class RecoveryRecord:
+    """One completed restart recovery: how long, how much log replayed.
+
+    ``seconds`` is wall-clock (the live cluster's RTO; in simulation it
+    is the recovery computation's real cost, still useful for the
+    recovery-time-vs-checkpoint-interval tradeoff curve).
+    """
+
+    node: str
+    seconds: float
+    records_replayed: int
+    at_time: float = 0.0
+    crash_count: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"node": self.node, "seconds": self.seconds,
+                "records_replayed": self.records_replayed,
+                "at_time": self.at_time, "crash_count": self.crash_count}
+
+
+@dataclass
 class DeadlockRecord:
     """One detected deadlock: the chosen victim and the waits-for cycle."""
 
@@ -116,6 +137,7 @@ class MetricsCollector:
         #: survive measurement-window resets like every other hook.
         self.on_transaction: List = []
         self.on_heuristic: List = []
+        self.on_recovery: List = []
         self.reset()
 
     def reset(self) -> None:
@@ -147,6 +169,9 @@ class MetricsCollector:
         #: Deadlocks the lock tables detected; counted in
         #: repro.lrm.locks before, but invisible in any report.
         self.deadlocks: List[DeadlockRecord] = []
+        #: Completed restart recoveries (duration + replayed records);
+        #: the RTO observable ROADMAP asks for.
+        self.recoveries: List[RecoveryRecord] = []
         #: (node, duration) per satisfied force request — the virtual
         #: time between requesting a force and its I/O completing
         #: (group commit makes this longer than io_latency).  Columnar:
@@ -186,6 +211,11 @@ class MetricsCollector:
         self.heuristics.append(event)
         for hook in self.on_heuristic:
             hook(event)
+
+    def record_recovery(self, record: RecoveryRecord) -> None:
+        self.recoveries.append(record)
+        for hook in self.on_recovery:
+            hook(record)
 
     def record_deadlock(self, victim: str,
                         cycle: Optional[List[str]] = None) -> None:

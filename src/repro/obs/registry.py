@@ -356,6 +356,11 @@ class MetricsRegistry:
         heuristics = self.counter(
             "heuristics_total", "Unilateral heuristic decisions, by "
             "decision.", ("decision",))
+        # A histogram, deliberately: durations are wall-clock and thus
+        # excluded from the twin's counter comparison.
+        recovery_seconds = self.histogram(
+            "recovery_seconds", "Restart-recovery duration (WAL scan "
+            "through in-doubt resumption), by node.", ("node",))
 
         simulator = cluster.simulator
 
@@ -411,10 +416,14 @@ class MetricsRegistry:
         def on_heuristic(event) -> None:
             heuristics.labels(event.decision).inc()
 
+        def on_recovery(record) -> None:
+            recovery_seconds.labels(record.node).observe(record.seconds)
+
         install(cluster.network.on_send, on_send)
         install(cluster.network.on_deliver, on_deliver)
         install(cluster.metrics.on_transaction, on_transaction)
         install(cluster.metrics.on_heuristic, on_heuristic)
+        install(cluster.metrics.on_recovery, on_recovery)
         for node in cluster.nodes.values():
             install(node.on_transition, on_transition)
             seen_logs = set()

@@ -61,6 +61,11 @@ class RunReport:
         forces.record_many(d for __, d in metrics.force_latencies)
         report.distributions["log-force latency"] = forces
 
+        if metrics.recoveries:
+            recovery = Histogram()
+            recovery.record_many(r.seconds for r in metrics.recoveries)
+            report.distributions["recovery time"] = recovery
+
         if tracer is not None:
             for phase, durations in sorted(
                     tracer.phase_durations().items()):
@@ -93,6 +98,9 @@ class RunReport:
             "aborts": outcomes.get("abort", 0),
             "heuristic decisions": len(metrics.heuristics),
             "recovery anomalies": metrics.recovery_anomaly_count(),
+            "restart recoveries": len(metrics.recoveries),
+            "recovery records replayed": sum(
+                r.records_replayed for r in metrics.recoveries),
             "deadlocks detected": metrics.deadlock_count(),
             "commit flows": metrics.commit_flows(),
             "log writes": metrics.total_log_writes(),

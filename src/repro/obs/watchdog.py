@@ -32,9 +32,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.obs.journal import (SETTLED_STATES, JournalEntry,
                                JournalRecorder)
 
-#: Detector names, in report order (all four always appear in the
-#: Prometheus exposition, zero-valued when quiet).
-DETECTORS = ("in_doubt", "lock_wait", "orphan", "unacked_force")
+#: Detector names, in report order (all always appear in the
+#: Prometheus exposition, zero-valued when quiet).  ``link_down`` is an
+#: external detector: the transport reports it via
+#: :meth:`Watchdog.record_external` when a supervised link exhausts its
+#: reconnect backoff budget.
+DETECTORS = ("in_doubt", "lock_wait", "orphan", "unacked_force",
+             "link_down")
 
 #: PREPARED is the in-doubt window (repro.core.states.TxnState).
 _IN_DOUBT_STATE = "prepared"
@@ -82,6 +86,7 @@ class Watchdog:
         self.in_doubt_threshold = in_doubt_threshold
         self.lock_wait_threshold = lock_wait_threshold
         self._recorder: Optional[JournalRecorder] = None
+        self._external: List[WatchdogFinding] = []
 
     # ------------------------------------------------------------------
     # Live mode
@@ -110,6 +115,14 @@ class Watchdog:
     def entries(self) -> List[JournalEntry]:
         return self._recorder.entries() if self._recorder else []
 
+    def record_external(self, finding: WatchdogFinding) -> None:
+        """File a finding from outside the journal (e.g. the transport
+        reporting a link whose reconnect loop gave up).  External
+        findings merge into every subsequent :meth:`scan`."""
+        if finding.detector not in DETECTORS:
+            raise ValueError(f"unknown detector {finding.detector!r}")
+        self._external.append(finding)
+
     # ------------------------------------------------------------------
     # Detectors
     # ------------------------------------------------------------------
@@ -124,6 +137,7 @@ class Watchdog:
         findings += self._scan_lock_wait(entries, end_time)
         findings += self._scan_orphans(entries, end_time)
         findings += self._scan_unacked_forces(entries, end_time)
+        findings += self._external
         findings.sort(key=lambda f: (f.at, DETECTORS.index(f.detector),
                                      f.node, f.txn or ""))
         return findings

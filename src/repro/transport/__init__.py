@@ -7,18 +7,29 @@ wire (:class:`~repro.transport.tcp.TcpTransport` under
 :class:`~repro.transport.live.LiveNetwork`), and stable storage
 (:class:`~repro.transport.storage.FileStableStorage`) — plus the twin
 oracle (:mod:`repro.transport.twin`) that proves a live run causally
-equivalent to its deterministic replay.  See ``docs/DEPLOYMENT.md``.
+equivalent to its deterministic replay, and the crash-survival layer:
+supervised links with reconnect backoff (:mod:`repro.transport.tcp`),
+WAL-driven node restart (:mod:`repro.transport.restart`), live fault
+injection (:mod:`repro.transport.faults`) and the live torture gate
+(:mod:`repro.transport.torture`).  See ``docs/DEPLOYMENT.md``.
 """
 
 from repro.transport.admin import AdminServer
 from repro.transport.clock import ActivityTracker, LiveClock, ScheduledCall
+from repro.transport.faults import (ArmedLiveCrash, LiveFaultInjector,
+                                    SITE_KINDS)
 from repro.transport.live import (LiveCluster, LiveNetwork, ServeControl,
                                   serve)
-from repro.transport.storage import FileStableStorage, load_records
-from repro.transport.tcp import TcpTransport
+from repro.transport.restart import RestartInfo, kill_node, restart_node
+from repro.transport.storage import (FileStableStorage, WalCorruptionError,
+                                     load_records, scan_wal)
+from repro.transport.tcp import BackoffPolicy, DROP_FRAME, TcpTransport
+from repro.transport.torture import (LiveTortureReport, SITES, TortureCell,
+                                     run_live_torture, run_torture_cell)
 from repro.transport.twin import (DEFAULT_NODES, TWIN_PROTOCOLS,
                                   ScheduledNetwork, TwinReport,
-                                  delivery_schedule, loopback_available,
+                                  classify_socket_error, delivery_schedule,
+                                  loopback_available, loopback_status,
                                   run_twin_check, run_twin_matrix,
                                   twin_specs)
 
@@ -27,19 +38,36 @@ __all__ = [
     "AdminServer",
     "LiveClock",
     "ScheduledCall",
+    "ArmedLiveCrash",
+    "LiveFaultInjector",
+    "SITE_KINDS",
     "LiveCluster",
     "LiveNetwork",
     "ServeControl",
     "serve",
+    "RestartInfo",
+    "kill_node",
+    "restart_node",
     "FileStableStorage",
+    "WalCorruptionError",
     "load_records",
+    "scan_wal",
+    "BackoffPolicy",
+    "DROP_FRAME",
     "TcpTransport",
+    "LiveTortureReport",
+    "SITES",
+    "TortureCell",
+    "run_live_torture",
+    "run_torture_cell",
     "DEFAULT_NODES",
     "TWIN_PROTOCOLS",
     "ScheduledNetwork",
     "TwinReport",
+    "classify_socket_error",
     "delivery_schedule",
     "loopback_available",
+    "loopback_status",
     "run_twin_check",
     "run_twin_matrix",
     "twin_specs",

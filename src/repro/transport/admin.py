@@ -243,6 +243,11 @@ class AdminServer:
                 "sent": transport.frames_sent,
                 "received": transport.frames_received,
             } if transport is not None else {},
+            "recovery": {
+                "count": len(metrics.recoveries),
+                "last": (metrics.recoveries[-1].to_dict()
+                         if metrics.recoveries else None),
+            },
         }
         return self._json(200, status)
 

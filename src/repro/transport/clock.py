@@ -26,6 +26,7 @@ from __future__ import annotations
 import asyncio
 from typing import Callable, List, Optional
 
+from repro.sim.kernel import EventInterrupt
 from repro.sim.randomness import RandomStream, StreamFactory
 
 
@@ -95,12 +96,24 @@ class ScheduledCall:
         self.fired = True
         self._clock.events_processed += 1
         if self.is_timer:
-            action()
+            self._invoke(action)
             return
         try:
-            action()
+            self._invoke(action)
         finally:
             self._clock.activity.dec()
+
+    @staticmethod
+    def _invoke(action: Callable[[], None]) -> None:
+        # Same contract as the sim kernel's event loop: a fault-
+        # injection hook raising EventInterrupt abandons the rest of
+        # the action at exactly that point, then the crash (the
+        # ``on_interrupt``) runs.  Live crash sites ride this.
+        try:
+            action()
+        except EventInterrupt as interrupt:
+            if interrupt.on_interrupt is not None:
+                interrupt.on_interrupt()
 
 
 class LiveClock:

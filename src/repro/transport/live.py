@@ -110,6 +110,9 @@ class LiveCluster:
         self.network = LiveNetwork(self.simulator, self.metrics,
                                    self.transport, self.activity)
         self.nodes: Dict[str, TMNode] = {}
+        #: Closed FileStableStorage handles of killed incarnations,
+        #: kept so fsync accounting carries across restarts.
+        self._retired_storage: Dict[str, FileStableStorage] = {}
         for name in nodes:
             self.add_node(name)
 
@@ -137,11 +140,63 @@ class LiveCluster:
         return {name: self.transport.address(name) for name in self.nodes}
 
     async def stop(self) -> None:
+        # A cancelled serve (or abrupt test teardown) can reach here
+        # with a log force still in flight; let tracked work land so
+        # its write doesn't hit a closed WAL handle.
+        try:
+            await asyncio.wait_for(self.activity.wait_idle(), timeout=2.0)
+        except asyncio.TimeoutError:
+            pass
         await self.transport.close()
         for node in self.nodes.values():
             stable = node.log.stable
             if isinstance(stable, FileStableStorage):
                 stable.close()
+        for stable in self._retired_storage.values():
+            stable.close()
+
+    # ------------------------------------------------------------------
+    # Kill / restart (the live fault surface; see repro.transport.restart)
+    # ------------------------------------------------------------------
+    def wal_path(self, name: str) -> str:
+        if self.log_dir is None:
+            raise ConfigurationError("cluster has no log_dir (no WAL)")
+        return os.path.join(self.log_dir, f"{name}.wal")
+
+    def begin_kill(self, name: str) -> None:
+        """The synchronous half of a node kill: wipe volatile protocol
+        state *now* (before any other event runs) and retire the WAL
+        handle.  Crash-site hooks call this from inside the very event
+        being interrupted; :meth:`finish_kill` tears the sockets down.
+        """
+        node = self.nodes[name]
+        node.crash()
+        stable = node.log.stable
+        if isinstance(stable, FileStableStorage):
+            stable.close()
+            self._retired_storage[name] = stable
+
+    async def finish_kill(self, name: str) -> None:
+        """Close the killed node's sockets and reconcile in-flight
+        frame accounting so quiescence tracking stays truthful."""
+        lost = await self.transport.close_node(name)
+        # Let FIN/EOF propagate so peers' watchers flip their links
+        # down (subsequent sends queue instead of dying in buffers).
+        await asyncio.sleep(0.01)
+        lost += self.transport.reconcile_lost(name)
+        for _ in range(lost):
+            self.activity.dec()
+
+    async def kill_node(self, name: str) -> None:
+        """Hard-kill a node: volatile-state wipe + socket close, as one
+        operation (the non-crash-site entry point)."""
+        self.begin_kill(name)
+        await self.finish_kill(name)
+
+    async def restart_node(self, name: str):
+        """Boot a killed node from its WAL; see repro.transport.restart."""
+        from repro.transport.restart import restart_node
+        return await restart_node(self, name)
 
     # ------------------------------------------------------------------
     # Frame dispatch
@@ -283,7 +338,8 @@ async def serve(config: ProtocolConfig, nodes: Iterable[str],
                 admin_port: Optional[int] = 0,
                 control: Optional[ServeControl] = None,
                 drain_timeout: float = 30.0,
-                journal_path: Optional[str] = None) -> None:
+                journal_path: Optional[str] = None,
+                checkpoint_interval: Optional[float] = None) -> None:
     """Run a live cluster until drained (the ``repro-2pc serve`` body).
 
     The full operations plane attaches before traffic starts: a
@@ -304,10 +360,15 @@ async def serve(config: ProtocolConfig, nodes: Iterable[str],
     ``ready(cluster, addresses)`` is called once the mesh is up —
     the CLI prints the node addresses there; tests grab the ports.
     ``cluster.admin_address`` carries the bound admin endpoint.
+
+    With ``checkpoint_interval`` set, every node force-logs a
+    CHECKPOINT that often and, once it hardens, compacts its WAL down
+    to the records the checkpoint still needs — long-running servers
+    get bounded restart-recovery work and bounded log files.
     """
     from repro.obs.journal import JournalRecorder
     from repro.obs.registry import MetricsRegistry
-    from repro.obs.watchdog import Watchdog
+    from repro.obs.watchdog import Watchdog, WatchdogFinding
     from repro.ops import OperatorConsole
     from repro.transport.admin import AdminServer
 
@@ -320,9 +381,36 @@ async def serve(config: ProtocolConfig, nodes: Iterable[str],
     admin = AdminServer(cluster, registry=registry, recorder=recorder,
                         watchdog=watchdog, console=console)
     control = control or ServeControl()
+
+    # A link that exhausts its reconnect budget is an operational
+    # incident, not a log line: surface it as a watchdog finding so
+    # /status and the dashboard carry it.
+    def link_gave_up(src: str, dst: str, attempts: int) -> None:
+        watchdog.record_external(WatchdogFinding(
+            "link_down", None, src, cluster.simulator.now,
+            f"link {src}->{dst} gave up reconnecting after "
+            f"{attempts} attempts", float(attempts)))
+    cluster.transport.on_give_up = link_gave_up
+
+    checkpoint_timer = []
+
+    def checkpoint_tick() -> None:
+        for node in cluster.nodes.values():
+            if not node.alive:
+                continue
+            stable = node.log.stable
+            on_durable = (stable.compact
+                          if isinstance(stable, FileStableStorage) else None)
+            node.take_checkpoint(on_durable=on_durable)
+        checkpoint_timer[:] = [cluster.simulator.timer(
+            checkpoint_interval, checkpoint_tick, name="checkpoint")]
+
     addresses = await cluster.start()
     if admin_port is not None:
         cluster.admin_address = await admin.start(admin_host, admin_port)
+    if checkpoint_interval is not None:
+        checkpoint_timer.append(cluster.simulator.timer(
+            checkpoint_interval, checkpoint_tick, name="checkpoint"))
 
     loop = asyncio.get_running_loop()
     installed_signals = []
@@ -348,6 +436,8 @@ async def serve(config: ProtocolConfig, nodes: Iterable[str],
     finally:
         for signum in installed_signals:
             loop.remove_signal_handler(signum)
+        for timer in checkpoint_timer:
+            timer.cancel()
         await admin.stop()
         recorder.detach()
         registry.detach()

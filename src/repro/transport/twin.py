@@ -157,15 +157,23 @@ class TwinReport:
     live_entries: int
     sim_entries: int
     registry_mismatches: List[str] = field(default_factory=list)
+    #: Classified transport/socket failures (e.g. loopback unavailable)
+    #: that prevented or degraded the live run — surfaced, not
+    #: swallowed.
+    transport_errors: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
         return (self.divergence is None and not self.outcome_mismatches
                 and not self.verdict_mismatches and not self.cost_mismatches
                 and not self.fsync_mismatches and not self.unmatched_sends
-                and not self.registry_mismatches)
+                and not self.registry_mismatches
+                and not self.transport_errors)
 
     def describe(self) -> str:
+        if self.transport_errors:
+            return "\n".join([f"{self.protocol}: TWIN COULD NOT RUN"]
+                             + self.transport_errors)
         if self.clean:
             return (f"{self.protocol}: twin clean — {self.txns} txns, "
                     f"{self.live_entries} journal entries causally "
@@ -199,6 +207,7 @@ class TwinReport:
             "unmatched_sends": [list(k) for k in self.unmatched_sends],
             "live_entries": self.live_entries,
             "sim_entries": self.sim_entries,
+            "transport_errors": self.transport_errors,
         }
 
 
@@ -293,14 +302,25 @@ def run_twin_check(protocol: str, seed: int = 11, txns: int = 6,
                    log_dir: Optional[str] = None) -> TwinReport:
     """Live run → recorded schedule → sim replay → full comparison."""
     config = TWIN_PROTOCOLS[protocol]
-    if log_dir is None:
-        # Real fsync semantics are part of the check; default to a
-        # throwaway WAL directory rather than silently skipping them.
-        import tempfile
-        with tempfile.TemporaryDirectory(prefix="repro-twin-") as tmp:
-            live = asyncio.run(_run_live(config, seed, txns, nodes, tmp))
-    else:
-        live = asyncio.run(_run_live(config, seed, txns, nodes, log_dir))
+    try:
+        if log_dir is None:
+            # Real fsync semantics are part of the check; default to a
+            # throwaway WAL directory rather than silently skipping them.
+            import tempfile
+            with tempfile.TemporaryDirectory(prefix="repro-twin-") as tmp:
+                live = asyncio.run(_run_live(config, seed, txns, nodes, tmp))
+        else:
+            live = asyncio.run(_run_live(config, seed, txns, nodes, log_dir))
+    except OSError as error:
+        # A sandbox without loopback (or an exhausted fd/port table)
+        # fails here; classify and surface it instead of crashing out
+        # with a bare traceback — the gates print the reason and skip.
+        return TwinReport(
+            protocol=protocol, txns=txns, seed=seed, divergence=None,
+            outcome_mismatches=[], verdict_mismatches=[],
+            cost_mismatches=[], fsync_mismatches=[], unmatched_sends=[],
+            live_entries=0, sim_entries=0,
+            transport_errors=[classify_socket_error(error)])
     schedule = delivery_schedule(live.entries)
     sim = _run_replay(config, seed, txns, nodes, schedule)
 
@@ -380,8 +400,32 @@ def run_twin_matrix(seed: int = 11, txns: int = 6,
             for name in TWIN_PROTOCOLS}
 
 
-def loopback_available() -> bool:
-    """Can we bind a localhost TCP socket in this sandbox?"""
+def classify_socket_error(error: OSError) -> str:
+    """One-line, operator-readable classification of a socket failure."""
+    import errno
+    name = errno.errorcode.get(error.errno, "OSError") \
+        if error.errno is not None else type(error).__name__
+    reasons = {
+        "EPERM": "socket operations forbidden (sandbox/seccomp policy)",
+        "EACCES": "socket access denied (permissions)",
+        "EAFNOSUPPORT": "IPv4 not supported on this host",
+        "EADDRNOTAVAIL": "127.0.0.1 not configured (no loopback interface)",
+        "EADDRINUSE": "address already in use",
+        "ECONNREFUSED": "connection refused (peer not listening)",
+        "EMFILE": "file-descriptor limit exhausted",
+        "ENFILE": "system file table exhausted",
+    }
+    detail = reasons.get(name, str(error) or "unclassified socket error")
+    return f"{name}: {detail}"
+
+
+def loopback_status() -> Tuple[bool, str]:
+    """Probe localhost TCP; returns (available, reason).
+
+    The reason is "ok" when available and a classified error
+    otherwise — callers must surface it (a silently skipped live gate
+    hid a sandbox misconfiguration once; never again).
+    """
     import socket
     try:
         probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -390,6 +434,11 @@ def loopback_available() -> bool:
             probe.listen(1)
         finally:
             probe.close()
-        return True
-    except OSError:
-        return False
+        return True, "ok"
+    except OSError as error:
+        return False, classify_socket_error(error)
+
+
+def loopback_available() -> bool:
+    """Can we bind a localhost TCP socket in this sandbox?"""
+    return loopback_status()[0]

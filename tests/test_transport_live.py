@@ -20,8 +20,8 @@ from repro.net.message import Message, MessageType
 from repro.obs.diff import diff_journals
 from repro.obs.journal import JournalRecorder
 from repro.transport import (FileStableStorage, LiveCluster, LiveClock,
-                             load_records, run_twin_check, serve,
-                             twin_specs)
+                             WalCorruptionError, load_records,
+                             run_twin_check, scan_wal, serve, twin_specs)
 from repro.transport.clock import ActivityTracker
 from repro.transport.twin import (_run_replay, delivery_schedule)
 from repro.transport.wire import (encode_frame, message_from_wire,
@@ -140,6 +140,141 @@ class TestFileStableStorage:
         with pytest.raises(ValueError):
             storage.append([self.make_record(1)])
         storage.close()
+
+    # -- compaction ----------------------------------------------------
+    def make_checkpoint(self, lsn):
+        return LogRecord(lsn=lsn, txn_id="-",
+                         record_type=LogRecordType.CHECKPOINT, node="n0",
+                         forced=True, written_at=0.0, payload={"live": []})
+
+    def test_compact_drops_prefix_before_last_checkpoint(self, tmp_path):
+        path = tmp_path / "n0.wal"
+        storage = FileStableStorage(path)
+        storage.append([self.make_record(1), self.make_record(2)])
+        storage.append([self.make_checkpoint(3)])
+        storage.append([self.make_record(4)])
+        forces = storage.fsync_count
+        assert storage.compact()
+        # Compaction is maintenance I/O: log-force accounting untouched.
+        assert storage.fsync_count == forces
+        assert storage.maintenance_fsyncs == 2
+        assert [r.lsn for r in storage.records()] == [3, 4]
+        assert [r.lsn for r in load_records(path)] == [3, 4]
+        # Appends keep working through the rename swap.
+        storage.append([self.make_record(5)])
+        storage.close()
+        assert [r.lsn for r in load_records(path)] == [3, 4, 5]
+
+    def test_compact_keeps_only_the_last_checkpoint(self, tmp_path):
+        path = tmp_path / "n0.wal"
+        storage = FileStableStorage(path)
+        storage.append([self.make_record(1)])
+        storage.append([self.make_checkpoint(2)])
+        storage.append([self.make_record(3)])
+        storage.append([self.make_checkpoint(4)])
+        assert storage.compact()
+        storage.close()
+        records = load_records(path)
+        assert [r.lsn for r in records] == [4]
+        assert records[0].record_type is LogRecordType.CHECKPOINT
+
+    def test_compact_without_checkpoint_is_refused(self, tmp_path):
+        path = tmp_path / "n0.wal"
+        storage = FileStableStorage(path)
+        storage.append([self.make_record(1)])
+        assert not storage.compact()
+        assert storage.maintenance_fsyncs == 0
+        storage.close()
+        assert [r.lsn for r in load_records(path)] == [1]
+
+    def test_compact_with_empty_prefix_is_refused(self, tmp_path):
+        storage = FileStableStorage(tmp_path / "n0.wal")
+        storage.append([self.make_checkpoint(1)])
+        storage.append([self.make_record(2)])
+        assert not storage.compact()   # nothing before it to drop
+        assert storage.maintenance_fsyncs == 0
+        storage.close()
+
+    # -- torn-tail recovery --------------------------------------------
+    def write_three(self, path):
+        storage = FileStableStorage(path)
+        for lsn in (1, 2, 3):
+            storage.append([self.make_record(lsn)])
+        storage.close()
+        return path.read_bytes()
+
+    def test_torn_tail_recovery_at_every_byte_offset(self, tmp_path):
+        data = self.write_three(tmp_path / "n0.wal")
+        first, second, _third, trailer = data.split(b"\n")
+        assert trailer == b""
+        boundary = len(first) + len(second) + 2   # start of record 3
+        torn_path = tmp_path / "torn.wal"
+        # Every strict prefix of the final record (excluding the clean
+        # boundary and the complete-but-newline-less form) is a torn
+        # tail: recovery must drop exactly that record and truncate.
+        for cut in range(boundary + 1, len(data) - 1):
+            torn_path.write_bytes(data[:cut])
+            recovered = FileStableStorage(torn_path, recover=True)
+            assert recovered.torn_tail is not None, cut
+            assert recovered.recovered_count == 2, cut
+            assert [r.lsn for r in recovered.records()] == [1, 2]
+            assert torn_path.read_bytes() == data[:boundary]
+            # Appends resume cleanly after the dropped record.
+            recovered.append([self.make_record(3)])
+            recovered.close()
+            assert [r.lsn for r in load_records(torn_path)] == [1, 2, 3]
+
+    def test_truncation_at_a_record_boundary_is_clean(self, tmp_path):
+        data = self.write_three(tmp_path / "n0.wal")
+        first, second, _third, _trailer = data.split(b"\n")
+        boundary = len(first) + len(second) + 2
+        path = tmp_path / "cut.wal"
+        path.write_bytes(data[:boundary])
+        recovered = FileStableStorage(path, recover=True)
+        assert recovered.torn_tail is None
+        assert recovered.recovered_count == 2
+        recovered.close()
+
+    def test_missing_final_newline_is_repaired_not_dropped(self, tmp_path):
+        data = self.write_three(tmp_path / "n0.wal")
+        path = tmp_path / "cut.wal"
+        path.write_bytes(data[:-1])   # record 3 complete, newline torn
+        recovered = FileStableStorage(path, recover=True)
+        assert recovered.torn_tail is None
+        assert recovered.recovered_count == 3
+        recovered.append([self.make_record(4)])
+        recovered.close()
+        assert [r.lsn for r in load_records(path)] == [1, 2, 3, 4]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        data = self.write_three(tmp_path / "n0.wal")
+        _first, second, _third, _trailer = data.split(b"\n")
+        path = tmp_path / "bad.wal"
+        path.write_bytes(b'{"garbage\n' + second + b"\n")
+        with pytest.raises(WalCorruptionError):
+            scan_wal(str(path))
+        with pytest.raises(WalCorruptionError):
+            FileStableStorage(path, recover=True)
+
+    def test_scan_wal_reports_the_valid_length(self, tmp_path):
+        data = self.write_three(tmp_path / "n0.wal")
+        first, second, _third, _trailer = data.split(b"\n")
+        boundary = len(first) + len(second) + 2
+        path = tmp_path / "torn.wal"
+        path.write_bytes(data[:boundary + 4])
+        records, note, valid_len = scan_wal(str(path))
+        assert [r.lsn for r in records] == [1, 2]
+        assert note is not None and "torn final WAL line 2" in note
+        assert valid_len == boundary
+
+    def test_load_records_strict_unless_torn_tail_allowed(self, tmp_path):
+        data = self.write_three(tmp_path / "n0.wal")
+        path = tmp_path / "torn.wal"
+        path.write_bytes(data[:-3])   # tear into record 3
+        with pytest.raises(WalCorruptionError):
+            load_records(path)
+        assert [r.lsn for r in
+                load_records(path, allow_torn_tail=True)] == [1, 2]
 
 
 # ----------------------------------------------------------------------
